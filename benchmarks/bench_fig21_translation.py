@@ -1,0 +1,37 @@
+"""Figure 21 + Proposition 5.1 — the benchmark queries and their translations.
+
+For every query of Figure 21 the benchmark measures the XPath → Lµ translation
+time and records the size of the resulting formula and of its Lean, checking
+the linearity and cycle-freeness claims of Proposition 5.1.
+"""
+
+import pytest
+
+from conftest import FIGURE_21, write_report
+from repro.logic.closure import lean
+from repro.logic.cyclefree import is_cycle_free
+from repro.logic.syntax import formula_size
+from repro.xpath.compile import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+_ROWS: dict[str, str] = {}
+
+
+@pytest.mark.parametrize("name", list(FIGURE_21))
+def test_fig21_translation(benchmark, name):
+    text = FIGURE_21[name]
+    expr = parse_xpath(text)
+    formula = benchmark(compile_xpath, expr)
+    size = formula_size(formula)
+    lean_size = len(lean(formula))
+    assert is_cycle_free(formula)
+    assert size <= 40 * (len(text) + 1)
+    _ROWS[name] = (
+        f"{name:<4} | {len(text):>5} | {size:>12} | {lean_size:>9} | cycle-free"
+    )
+    if len(_ROWS) == len(FIGURE_21):
+        write_report(
+            "fig21_translation",
+            ["expr | chars | formula size | lean size | Prop. 5.1(2)"]
+            + [_ROWS[key] for key in FIGURE_21],
+        )

@@ -1,0 +1,68 @@
+"""Scaling study — solver cost as a function of Lean size (Lemma 6.7).
+
+Lemma 6.7 bounds the running time by ``2^O(|Lean(ψ)|)``.  This benchmark runs
+the solver on a family of containment problems of growing size (nested child
+steps with qualifiers) and records Lean size, iterations and time, giving the
+measured counterpart of the complexity claim.  It also compares the explicit
+solver of Figure 16 with the symbolic solver of Section 7 on an instance small
+enough for both.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.analysis import Analyzer
+from repro.logic import syntax as sx
+from repro.solver.explicit import ExplicitSolver
+from repro.solver.symbolic import SymbolicSolver
+
+_ROWS: list[str] = []
+_DEPTHS = [1, 2, 3, 4]
+
+
+def _query(depth: int) -> str:
+    """Nested path a1/a2[b2]/a3[b3]/… of the given depth."""
+    steps = ["a1"] + [f"a{i}[b{i}]" for i in range(2, depth + 1)]
+    return "/".join(steps)
+
+
+@pytest.mark.parametrize("depth", _DEPTHS)
+def test_scaling_with_query_depth(benchmark, depth):
+    analyzer = Analyzer()
+    query = _query(depth)
+    weaker = query.replace("[b2]", "") if depth >= 2 else "*"
+
+    result = benchmark.pedantic(
+        lambda: analyzer.containment(query, weaker), rounds=1, iterations=1
+    )
+    assert result.holds
+    stats = result.solver_result.statistics
+    _ROWS.append(
+        f"depth {depth}: lean={stats.lean_size:>3} iterations={stats.iterations:>2} "
+        f"time={result.time_ms:>8.1f} ms"
+    )
+    if depth == _DEPTHS[-1]:
+        write_report("scaling_lean_size", ["containment of nested queries"] + _ROWS)
+
+
+def test_explicit_vs_symbolic(benchmark):
+    formula = sx.prop("a") & sx.dia(1, sx.prop("b")) & sx.START
+
+    def run():
+        explicit = ExplicitSolver(formula).solve()
+        symbolic = SymbolicSolver(formula).solve()
+        return explicit, symbolic
+
+    explicit, symbolic = benchmark(run)
+    assert explicit.satisfiable == symbolic.satisfiable is True
+    write_report(
+        "scaling_explicit_vs_symbolic",
+        [
+            f"formula: {formula}",
+            f"explicit solver (Figure 16): {explicit.entry_count} triples over "
+            f"{explicit.type_count} psi-types, {explicit.iterations} iterations",
+            f"symbolic solver (Section 7): lean {symbolic.statistics.lean_size}, "
+            f"{symbolic.statistics.iterations} iterations, "
+            f"{symbolic.statistics.solve_seconds * 1000:.1f} ms",
+        ],
+    )

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 8).  Besides the pytest-benchmark timings, each benchmark appends the
+rows it reproduces to ``benchmarks/reports/<name>.txt`` so the numbers can be
+compared with the paper (see EXPERIMENTS.md) without re-running pytest with
+output capturing disabled.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    """Write (and print) the reproduced rows of a table or figure."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (REPORT_DIR / f"{name}.txt").write_text(text)
+    print(f"\n===== {name} =====\n{text}")
+
+
+#: The twelve benchmark XPath expressions of Figure 21.
+FIGURE_21 = {
+    "e1": "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
+    "e2": "/a[.//b[c/*//d]/b[c/d]]",
+    "e3": "a/b//c/foll-sibling::d/e",
+    "e4": "a/b//d[prec-sibling::c]/e",
+    "e5": "a/c/following::d/e",
+    "e6": "a/b[//c]/following::d/e ∩ a/d[preceding::c]/e",
+    "e7": "*//switch[ancestor::head]//seq//audio[prec-sibling::video]",
+    "e8": "descendant::a[ancestor::a]",
+    "e9": "/descendant::*",
+    "e10": "html/(head | body)",
+    "e11": "html/head/descendant::*",
+    "e12": "html/body/descendant::*",
+}

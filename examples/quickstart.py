@@ -1,0 +1,46 @@
+"""Quickstart: XPath containment, emptiness and counterexamples.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    check_containment,
+    check_emptiness,
+    check_overlap,
+    compile_xpath,
+    format_formula,
+    parse_xpath,
+    select,
+    parse_tree,
+    serialize_tree,
+)
+
+
+def main() -> None:
+    # 1. Evaluate an XPath expression on a document (the "!" marks the node
+    #    where evaluation starts).
+    document = parse_tree("<library!><book><title/></book><book/><journal/></library>")
+    expr = parse_xpath("child::book[title]")
+    print("selected nodes:", [focus.name for focus in select(expr, document)])
+
+    # 2. Look at the µ-calculus formula the query compiles to.
+    print("compiled formula:", format_formula(compile_xpath("child::book[title]")))
+
+    # 3. Decide containment between two queries (no schema needed).
+    result = check_containment("child::book[title]", "child::book")
+    print(result.describe())
+
+    # 4. A containment that does not hold comes with a counterexample document.
+    result = check_containment("child::book", "child::book[title]")
+    print(result.describe())
+    print("counterexample document:", serialize_tree(result.counterexample))
+
+    # 5. Emptiness and overlap.
+    print(check_emptiness("self::a ∩ self::b").describe())
+    print(check_overlap("descendant::title", "book/title").describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment used for reproduction has no ``wheel`` package, which
+breaks PEP 660 editable installs (``pip install -e .``) with older setuptools.
+This shim keeps ``python setup.py develop`` and legacy editable installs
+working; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — static analysis of XML paths and types.
+
+A from-scratch Python reproduction of
+
+    Pierre Genevès, Nabil Layaïda, Alan Schmitt.
+    "Efficient Static Analysis of XML Paths and Types", PLDI 2007
+    (extended version: INRIA RR-6590, 2008).
+
+The package solves XPath decision problems — emptiness, containment, overlap,
+coverage, equivalence and static type checking — in the presence of XML
+regular tree types (DTDs), by translating both queries and types to a
+cycle-free µ-calculus over finite focused trees and deciding satisfiability
+with a BDD-based fixpoint algorithm.
+
+Quick start::
+
+    from repro import check_containment
+    result = check_containment("child::a[b]", "child::a")
+    assert result.holds                       # every a[b] child is an a child
+
+    from repro import check_satisfiability, builtin_dtd
+    result = check_satisfiability("descendant::a[ancestor::a]", builtin_dtd("xhtml"))
+    print(result.holds, result.counterexample)
+"""
+
+from repro.analysis import (
+    AnalysisResult,
+    Analyzer,
+    check_containment,
+    check_coverage,
+    check_emptiness,
+    check_equivalence,
+    check_overlap,
+    check_satisfiability,
+    check_type_inclusion,
+)
+from repro.logic.negation import negate
+from repro.logic.parser import parse_formula
+from repro.logic.printer import format_formula
+from repro.solver.explicit import ExplicitSolver
+from repro.solver.symbolic import SolverResult, SymbolicSolver
+from repro.trees.unranked import Tree, parse_tree, serialize_tree
+from repro.xmltypes.compile import compile_dtd
+from repro.xmltypes.dtd import DTD, parse_dtd
+from repro.xmltypes.library import builtin_dtd
+from repro.xmltypes.membership import dtd_accepts
+from repro.xpath.compile import compile_xpath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import select
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "check_containment",
+    "check_coverage",
+    "check_emptiness",
+    "check_equivalence",
+    "check_overlap",
+    "check_satisfiability",
+    "check_type_inclusion",
+    "negate",
+    "parse_formula",
+    "format_formula",
+    "ExplicitSolver",
+    "SymbolicSolver",
+    "SolverResult",
+    "Tree",
+    "parse_tree",
+    "serialize_tree",
+    "DTD",
+    "parse_dtd",
+    "compile_dtd",
+    "builtin_dtd",
+    "dtd_accepts",
+    "compile_xpath",
+    "parse_xpath",
+    "select",
+    "__version__",
+]

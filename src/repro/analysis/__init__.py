@@ -1,0 +1,30 @@
+"""High-level XML decision problems (Section 8).
+
+Every problem is reduced to (un)satisfiability of an Lµ formula built from the
+XPath translation (Section 5.1) and the regular tree type translation
+(Section 5.2), and dispatched to the symbolic solver of Section 7.
+"""
+
+from repro.analysis.problems import (
+    AnalysisResult,
+    Analyzer,
+    check_containment,
+    check_coverage,
+    check_emptiness,
+    check_equivalence,
+    check_overlap,
+    check_satisfiability,
+    check_type_inclusion,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "check_containment",
+    "check_coverage",
+    "check_emptiness",
+    "check_equivalence",
+    "check_overlap",
+    "check_satisfiability",
+    "check_type_inclusion",
+]

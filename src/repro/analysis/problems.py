@@ -1,0 +1,251 @@
+"""The decision problems of Section 8, reduced to Lµ satisfiability.
+
+For XPath expressions ``e₁, …, eₙ`` and XML types ``T₁, …, Tₙ``:
+
+* **emptiness / satisfiability**: ``E→[[e₁]]([[T₁]])`` is satisfiable iff
+  ``e₁`` can select at least one node in some document of type ``T₁``;
+* **containment**: ``E→[[e₁]]([[T₁]]) ∧ ¬E→[[e₂]]([[T₂]])`` is unsatisfiable
+  iff every node selected by ``e₁`` (under ``T₁``) is selected by ``e₂``
+  (under ``T₂``);
+* **overlap**: ``E→[[e₁]]([[T₁]]) ∧ E→[[e₂]]([[T₂]])`` is satisfiable iff the
+  two expressions can select a common node;
+* **coverage**: ``E→[[e₁]]([[T₁]]) ∧ ⋀ᵢ ¬E→[[eᵢ]]([[Tᵢ]])`` is unsatisfiable
+  iff every node selected by ``e₁`` is selected by one of the others;
+* **static type checking**: ``E→[[e₁]]([[T₁]]) ∧ ¬[[T₂]]`` is unsatisfiable
+  iff every node selected by ``e₁`` under ``T₁`` roots a subtree of type
+  ``T₂``;
+* **equivalence**: containment in both directions.
+
+When the formula of a "negative" problem (containment, coverage, type
+inclusion) is satisfiable, the satisfying model is a counterexample document,
+annotated with the start mark, which is returned to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic import syntax as sx
+from repro.logic.negation import negate
+from repro.solver.symbolic import SolverResult, SymbolicSolver
+from repro.trees.unranked import Tree
+from repro.xmltypes.compile import compile_dtd, compile_grammar
+from repro.xmltypes.ast import BinaryTypeGrammar
+from repro.xmltypes.dtd import DTD
+from repro.xpath import ast as xp
+from repro.xpath.compile import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+TypeLike = "DTD | BinaryTypeGrammar | sx.Formula | None"
+ExprLike = "xp.Expr | str"
+
+
+def _type_formula(xml_type, constrain_siblings: bool = True) -> sx.Formula:
+    """The Lµ formula of a type constraint (⊤ when there is none).
+
+    ``constrain_siblings=False`` is used for *output* types (static type
+    checking): the checked node is usually an inner node of a document and may
+    have following siblings, which the type should not constrain.
+    """
+    if xml_type is None:
+        return sx.TRUE
+    if isinstance(xml_type, sx.Formula):
+        return xml_type
+    if isinstance(xml_type, DTD):
+        return compile_dtd(xml_type, constrain_siblings=constrain_siblings)
+    if isinstance(xml_type, BinaryTypeGrammar):
+        return compile_grammar(xml_type, constrain_siblings=constrain_siblings)
+    raise TypeError(f"unsupported type constraint {xml_type!r}")
+
+
+def _expression(expr) -> xp.Expr:
+    return parse_xpath(expr) if isinstance(expr, str) else expr
+
+
+def rooted(xml_type) -> sx.Formula:
+    """Anchor a type constraint at the document root.
+
+    The type translation of Section 5.2 deliberately leaves the context of the
+    typed node unconstrained.  For whole-document analyses (such as the XHTML
+    experiments of Section 8) the paper notes that "conditions similar to
+    those of absolute paths are added" when the position of the root is known;
+    this helper conjoins the type formula with "no parent and no sibling", so
+    the marked context node is the document root itself.
+    """
+    return sx.big_and(
+        (
+            _type_formula(xml_type),
+            sx.no_dia(-1),
+            sx.no_dia(-2),
+            sx.no_dia(2),
+        )
+    )
+
+
+def _query_formula(expr, xml_type) -> sx.Formula:
+    return compile_xpath(_expression(expr), _type_formula(xml_type))
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of a decision problem.
+
+    ``holds`` answers the question asked ("is e₁ contained in e₂?", "do they
+    overlap?", ...); ``counterexample`` is a witness document when the
+    property fails (for containment-like problems) or an example document when
+    it holds (for satisfiability-like problems).
+    """
+
+    problem: str
+    holds: bool
+    solver_result: SolverResult
+    counterexample: Tree | None = None
+
+    @property
+    def time_ms(self) -> float:
+        """Solver running time in milliseconds (as reported in Table 2)."""
+        return 1000.0 * self.solver_result.statistics.solve_seconds
+
+    def describe(self) -> str:
+        status = "holds" if self.holds else "does not hold"
+        witness = ""
+        if self.counterexample is not None:
+            from repro.trees.unranked import serialize_tree
+
+            witness = f"; witness: {serialize_tree(self.counterexample)}"
+        return f"{self.problem}: {status} ({self.time_ms:.1f} ms){witness}"
+
+
+@dataclass
+class Analyzer:
+    """Facade bundling the translations and the solver with shared options."""
+
+    early_quantification: bool = True
+    monolithic_relation: bool = False
+    interleaved_order: bool = True
+    track_marks: bool = True
+
+    def _solve(self, formula: sx.Formula, extra_labels: tuple[str, ...] = ()) -> SolverResult:
+        solver = SymbolicSolver(
+            formula,
+            extra_labels=extra_labels,
+            early_quantification=self.early_quantification,
+            monolithic_relation=self.monolithic_relation,
+            interleaved_order=self.interleaved_order,
+            track_marks=self.track_marks,
+        )
+        return solver.solve()
+
+    # -- problems -----------------------------------------------------------------
+
+    def satisfiability(self, expr, xml_type=None) -> AnalysisResult:
+        """Can the expression select at least one node (under the type)?"""
+        formula = _query_formula(expr, xml_type)
+        result = self._solve(formula)
+        return AnalysisResult(
+            problem=f"satisfiability of {expr}",
+            holds=result.satisfiable,
+            solver_result=result,
+            counterexample=result.model_document(),
+        )
+
+    def emptiness(self, expr, xml_type=None) -> AnalysisResult:
+        """Is the expression always empty (under the type)?"""
+        inner = self.satisfiability(expr, xml_type)
+        return AnalysisResult(
+            problem=f"emptiness of {expr}",
+            holds=not inner.holds,
+            solver_result=inner.solver_result,
+            counterexample=inner.counterexample,
+        )
+
+    def containment(self, expr1, expr2, type1=None, type2=None) -> AnalysisResult:
+        """Is every node selected by ``expr1`` also selected by ``expr2``?"""
+        formula = sx.mk_and(
+            _query_formula(expr1, type1), negate(_query_formula(expr2, type2))
+        )
+        result = self._solve(formula)
+        return AnalysisResult(
+            problem=f"containment {expr1} ⊆ {expr2}",
+            holds=not result.satisfiable,
+            solver_result=result,
+            counterexample=result.model_document(),
+        )
+
+    def equivalence(self, expr1, expr2, type1=None, type2=None) -> tuple[AnalysisResult, AnalysisResult]:
+        """Containment in both directions (XPath equivalence under constraints)."""
+        forward = self.containment(expr1, expr2, type1, type2)
+        backward = self.containment(expr2, expr1, type2, type1)
+        return forward, backward
+
+    def overlap(self, expr1, expr2, type1=None, type2=None) -> AnalysisResult:
+        """Can the two expressions select a common node?"""
+        formula = sx.mk_and(_query_formula(expr1, type1), _query_formula(expr2, type2))
+        result = self._solve(formula)
+        return AnalysisResult(
+            problem=f"overlap of {expr1} and {expr2}",
+            holds=result.satisfiable,
+            solver_result=result,
+            counterexample=result.model_document(),
+        )
+
+    def coverage(self, expr, covering, xml_type=None, covering_types=None) -> AnalysisResult:
+        """Is every node selected by ``expr`` selected by one of ``covering``?"""
+        covering = list(covering)
+        covering_types = list(covering_types) if covering_types is not None else [None] * len(covering)
+        formula = _query_formula(expr, xml_type)
+        for other, other_type in zip(covering, covering_types):
+            formula = sx.mk_and(formula, negate(_query_formula(other, other_type)))
+        result = self._solve(formula)
+        return AnalysisResult(
+            problem=f"coverage of {expr} by {len(covering)} expressions",
+            holds=not result.satisfiable,
+            solver_result=result,
+            counterexample=result.model_document(),
+        )
+
+    def type_inclusion(self, expr, input_type, output_type) -> AnalysisResult:
+        """Static type checking of an annotated query: is every node selected by
+        ``expr`` under ``input_type`` the root of a subtree of ``output_type``?"""
+        formula = sx.mk_and(
+            _query_formula(expr, input_type),
+            negate(_type_formula(output_type, constrain_siblings=False)),
+        )
+        result = self._solve(formula)
+        return AnalysisResult(
+            problem=f"type inclusion of {expr}",
+            holds=not result.satisfiable,
+            solver_result=result,
+            counterexample=result.model_document(),
+        )
+
+
+# -- module-level conveniences -------------------------------------------------------
+
+
+def check_satisfiability(expr, xml_type=None, **options) -> AnalysisResult:
+    return Analyzer(**options).satisfiability(expr, xml_type)
+
+
+def check_emptiness(expr, xml_type=None, **options) -> AnalysisResult:
+    return Analyzer(**options).emptiness(expr, xml_type)
+
+
+def check_containment(expr1, expr2, type1=None, type2=None, **options) -> AnalysisResult:
+    return Analyzer(**options).containment(expr1, expr2, type1, type2)
+
+
+def check_equivalence(expr1, expr2, type1=None, type2=None, **options):
+    return Analyzer(**options).equivalence(expr1, expr2, type1, type2)
+
+
+def check_overlap(expr1, expr2, type1=None, type2=None, **options) -> AnalysisResult:
+    return Analyzer(**options).overlap(expr1, expr2, type1, type2)
+
+
+def check_coverage(expr, covering, xml_type=None, covering_types=None, **options) -> AnalysisResult:
+    return Analyzer(**options).coverage(expr, covering, xml_type, covering_types)
+
+
+def check_type_inclusion(expr, input_type, output_type, **options) -> AnalysisResult:
+    return Analyzer(**options).type_inclusion(expr, input_type, output_type)

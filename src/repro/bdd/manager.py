@@ -1,0 +1,526 @@
+"""The ROBDD manager: node table, boolean operations, quantification.
+
+Nodes are identified by non-negative integers.  The two terminals are ``0``
+(false) and ``1`` (true); every other node is a triple ``(level, low, high)``
+stored in the manager's node table, where ``level`` is the position of the
+node's variable in the manager's fixed variable order, ``low`` is the cofactor
+for the variable being false and ``high`` for it being true.  The standard
+reduction rules apply: no node with ``low == high``, and no two distinct nodes
+with the same triple.
+
+The :class:`BDD` wrapper pairs a node id with its manager and provides
+operator overloading (``&``, ``|``, ``~``, ...) so client code reads like the
+boolean formulas of Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class BDDManager:
+    """Owner of the node table and operation caches for one variable order."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, variables: Sequence[str] = ()):
+        # Node table: index -> (level, low, high).  Entries 0 and 1 are
+        # placeholders for the terminals and never dereferenced.
+        self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._quant_cache: dict[tuple, int] = {}
+        self._var_names: list[str] = []
+        self._var_levels: dict[str, int] = {}
+        for name in variables:
+            self.add_variable(name)
+
+    # -- variables -----------------------------------------------------------
+
+    def add_variable(self, name: str) -> int:
+        """Append a variable at the end of the order; returns its level."""
+        if name in self._var_levels:
+            raise ValueError(f"variable {name!r} already declared")
+        level = len(self._var_names)
+        self._var_names.append(name)
+        self._var_levels[name] = level
+        return level
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(self._var_names)
+
+    def level_of(self, name: str) -> int:
+        return self._var_levels[name]
+
+    def name_of(self, level: int) -> str:
+        return self._var_names[level]
+
+    def var_count(self) -> int:
+        return len(self._var_names)
+
+    def node_count(self) -> int:
+        """Total number of live nodes in the table (terminals excluded)."""
+        return len(self._nodes) - 2
+
+    # -- raw node constructors ------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        index = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = index
+        return index
+
+    def var_node(self, name: str) -> int:
+        """Node id of the literal ``name``."""
+        return self._mk(self._var_levels[name], self.FALSE, self.TRUE)
+
+    def nvar_node(self, name: str) -> int:
+        """Node id of the literal ``¬name``."""
+        return self._mk(self._var_levels[name], self.TRUE, self.FALSE)
+
+    def _level(self, node: int) -> int:
+        if node <= 1:
+            return len(self._var_names)  # terminals sit below every variable
+        return self._nodes[node][0]
+
+    def _cofactors(self, node: int, level: int) -> tuple[int, int]:
+        if node <= 1 or self._nodes[node][0] != level:
+            return node, node
+        _lvl, low, high = self._nodes[node]
+        return low, high
+
+    # -- core operations -------------------------------------------------------
+
+    def ite(self, cond: int, then: int, other: int) -> int:
+        """If-then-else: ``(cond ∧ then) ∨ (¬cond ∧ other)``."""
+        if cond == self.TRUE:
+            return then
+        if cond == self.FALSE:
+            return other
+        if then == other:
+            return then
+        if then == self.TRUE and other == self.FALSE:
+            return cond
+        key = (cond, then, other)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(cond), self._level(then), self._level(other))
+        cond_low, cond_high = self._cofactors(cond, level)
+        then_low, then_high = self._cofactors(then, level)
+        other_low, other_high = self._cofactors(other, level)
+        low = self.ite(cond_low, then_low, other_low)
+        high = self.ite(cond_high, then_high, other_high)
+        result = self._mk(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def neg(self, node: int) -> int:
+        return self.ite(node, self.FALSE, self.TRUE)
+
+    def conj(self, a: int, b: int) -> int:
+        return self.ite(a, b, self.FALSE)
+
+    def disj(self, a: int, b: int) -> int:
+        return self.ite(a, self.TRUE, b)
+
+    def xor(self, a: int, b: int) -> int:
+        return self.ite(a, self.neg(b), b)
+
+    def iff(self, a: int, b: int) -> int:
+        return self.ite(a, b, self.neg(b))
+
+    def implies(self, a: int, b: int) -> int:
+        return self.ite(a, b, self.TRUE)
+
+    def conj_all(self, nodes: Iterable[int]) -> int:
+        result = self.TRUE
+        for node in nodes:
+            result = self.conj(result, node)
+            if result == self.FALSE:
+                return result
+        return result
+
+    def disj_all(self, nodes: Iterable[int]) -> int:
+        result = self.FALSE
+        for node in nodes:
+            result = self.disj(result, node)
+            if result == self.TRUE:
+                return result
+        return result
+
+    # -- quantification --------------------------------------------------------
+
+    def exists(self, node: int, names: Iterable[str]) -> int:
+        """Existential quantification over the given variables."""
+        levels = frozenset(self._var_levels[name] for name in names)
+        if not levels:
+            return node
+        return self._exists(node, levels, cache_tag=("exists", levels))
+
+    def _exists(self, node: int, levels: frozenset[int], cache_tag: tuple) -> int:
+        if node <= 1:
+            return node
+        level, low, high = self._nodes[node]
+        if level > max(levels):
+            return node
+        key = (cache_tag, node)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        low_result = self._exists(low, levels, cache_tag)
+        high_result = self._exists(high, levels, cache_tag)
+        if level in levels:
+            result = self.disj(low_result, high_result)
+        else:
+            result = self._mk(level, low_result, high_result)
+        self._quant_cache[key] = result
+        return result
+
+    def forall(self, node: int, names: Iterable[str]) -> int:
+        """Universal quantification over the given variables."""
+        return self.neg(self.exists(self.neg(node), names))
+
+    def and_exists(self, a: int, b: int, names: Iterable[str]) -> int:
+        """The relational product ``∃ names . a ∧ b`` computed in one pass.
+
+        This is the operation at the heart of the conjunctive-partitioning
+        optimisation of Section 7.3: conjoining a partition of the transition
+        relation with the current frontier and quantifying variables out
+        without ever building the full conjunction.
+        """
+        levels = frozenset(self._var_levels[name] for name in names)
+        if not levels:
+            return self.conj(a, b)
+        return self._and_exists(a, b, levels, cache={})
+
+    def _and_exists(
+        self, a: int, b: int, levels: frozenset[int], cache: dict[tuple[int, int], int]
+    ) -> int:
+        if a == self.FALSE or b == self.FALSE:
+            return self.FALSE
+        if a == self.TRUE and b == self.TRUE:
+            return self.TRUE
+        if a == self.TRUE or b == self.TRUE:
+            node = b if a == self.TRUE else a
+            return self._exists(node, levels, cache_tag=("exists", levels))
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(a), self._level(b))
+        a_low, a_high = self._cofactors(a, level)
+        b_low, b_high = self._cofactors(b, level)
+        low = self._and_exists(a_low, b_low, levels, cache)
+        high = self._and_exists(a_high, b_high, levels, cache)
+        if level in levels:
+            result = self.disj(low, high)
+        else:
+            result = self._mk(level, low, high)
+        cache[key] = result
+        return result
+
+    # -- substitution / renaming ----------------------------------------------
+
+    def rename(self, node: int, mapping: Mapping[str, str]) -> int:
+        """Rename variables according to ``mapping`` (old name -> new name).
+
+        Implemented by composing with fresh literals through ``ite``, which is
+        correct for any mapping; it is cheap when the mapping preserves the
+        relative order of the variables (as the solver's interleaved x/y
+        vectors do).
+        """
+        level_map = {
+            self._var_levels[old]: self._var_levels[new] for old, new in mapping.items()
+        }
+        cache: dict[int, int] = {}
+
+        def go(current: int) -> int:
+            if current <= 1:
+                return current
+            cached = cache.get(current)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[current]
+            new_level = level_map.get(level, level)
+            literal = self._mk(new_level, self.FALSE, self.TRUE)
+            result = self.ite(literal, go(high), go(low))
+            cache[current] = result
+            return result
+
+        return go(node)
+
+    def restrict(self, node: int, assignment: Mapping[str, bool]) -> int:
+        """Cofactor with respect to a partial assignment."""
+        values = {self._var_levels[name]: value for name, value in assignment.items()}
+        cache: dict[int, int] = {}
+
+        def go(current: int) -> int:
+            if current <= 1:
+                return current
+            cached = cache.get(current)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[current]
+            if level in values:
+                result = go(high) if values[level] else go(low)
+            else:
+                result = self._mk(level, go(low), go(high))
+            cache[current] = result
+            return result
+
+        return go(node)
+
+    # -- inspection -------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the function under a total assignment of its support."""
+        current = node
+        while current > 1:
+            level, low, high = self._nodes[current]
+            current = high if assignment.get(self._var_names[level], False) else low
+        return current == self.TRUE
+
+    def support(self, node: int) -> set[str]:
+        """Names of the variables the function actually depends on."""
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            level, low, high = self._nodes[current]
+            levels.add(level)
+            stack.append(low)
+            stack.append(high)
+        return {self._var_names[level] for level in levels}
+
+    def dag_size(self, node: int) -> int:
+        """Number of internal nodes reachable from ``node``."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            _level, low, high = self._nodes[current]
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
+    def pick_assignment(self, node: int) -> dict[str, bool] | None:
+        """One satisfying assignment (unmentioned variables default to False)."""
+        if node == self.FALSE:
+            return None
+        assignment: dict[str, bool] = {}
+        current = node
+        while current > 1:
+            level, low, high = self._nodes[current]
+            name = self._var_names[level]
+            if low != self.FALSE:
+                assignment[name] = False
+                current = low
+            else:
+                assignment[name] = True
+                current = high
+        return assignment
+
+    def count_assignments(self, node: int, over: Sequence[str] | None = None) -> int:
+        """Number of satisfying assignments over the given variables.
+
+        ``over`` defaults to every declared variable.
+        """
+        names = list(over) if over is not None else list(self._var_names)
+        levels = sorted(self._var_levels[name] for name in names)
+        position = {level: i for i, level in enumerate(levels)}
+        cache: dict[int, int] = {}
+
+        def count(current: int) -> int:
+            # Result is the count over variables strictly below the current
+            # node's level within `levels`; scaled by the caller.
+            if current == self.FALSE:
+                return 0
+            if current == self.TRUE:
+                return 1
+            cached = cache.get(current)
+            if cached is None:
+                level, low, high = self._nodes[current]
+                if level not in position:
+                    raise ValueError(
+                        f"node depends on variable {self._var_names[level]!r} "
+                        "not included in the count"
+                    )
+                cached = count(low) * _gap(level, low) + count(high) * _gap(level, high)
+                cache[current] = cached
+            return cached
+
+        def _gap(level: int, child: int) -> int:
+            # Number of skipped decision variables between `level` and `child`.
+            child_level = self._level(child)
+            upper = position[level]
+            lower = (
+                len(levels)
+                if child <= 1
+                else position.get(child_level, len(levels))
+            )
+            return 2 ** (lower - upper - 1)
+
+        top = node
+        top_level = self._level(top)
+        if top <= 1:
+            full = 2 ** len(levels)
+            return full if top == self.TRUE else 0
+        leading = position.get(top_level, 0)
+        return count(top) * (2 ** leading)
+
+    def iter_assignments(self, node: int, over: Sequence[str]) -> Iterator[dict[str, bool]]:
+        """Iterate every satisfying assignment over exactly the given variables."""
+        names = list(over)
+
+        def go(current: int, index: int, partial: dict[str, bool]) -> Iterator[dict[str, bool]]:
+            if current == self.FALSE:
+                return
+            if index == len(names):
+                if current == self.TRUE:
+                    yield dict(partial)
+                return
+            name = names[index]
+            level = self._var_levels[name]
+            current_level = self._level(current)
+            if current_level == level:
+                _lvl, low, high = self._nodes[current]
+                partial[name] = False
+                yield from go(low, index + 1, partial)
+                partial[name] = True
+                yield from go(high, index + 1, partial)
+                del partial[name]
+            else:
+                partial[name] = False
+                yield from go(current, index + 1, partial)
+                partial[name] = True
+                yield from go(current, index + 1, partial)
+                del partial[name]
+
+        yield from go(node, 0, {})
+
+    # -- wrapper construction ---------------------------------------------------
+
+    def false(self) -> "BDD":
+        return BDD(self, self.FALSE)
+
+    def true(self) -> "BDD":
+        return BDD(self, self.TRUE)
+
+    def variable(self, name: str) -> "BDD":
+        return BDD(self, self.var_node(name))
+
+    def wrap(self, node: int) -> "BDD":
+        return BDD(self, node)
+
+
+class BDD:
+    """A boolean function: a node id tied to its manager, with operators."""
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: BDDManager, node: int):
+        self.manager = manager
+        self.node = node
+
+    # -- boolean structure ------------------------------------------------------
+
+    def __invert__(self) -> "BDD":
+        return BDD(self.manager, self.manager.neg(self.node))
+
+    def __and__(self, other: "BDD") -> "BDD":
+        return BDD(self.manager, self.manager.conj(self.node, other.node))
+
+    def __or__(self, other: "BDD") -> "BDD":
+        return BDD(self.manager, self.manager.disj(self.node, other.node))
+
+    def __xor__(self, other: "BDD") -> "BDD":
+        return BDD(self.manager, self.manager.xor(self.node, other.node))
+
+    def iff(self, other: "BDD") -> "BDD":
+        return BDD(self.manager, self.manager.iff(self.node, other.node))
+
+    def implies(self, other: "BDD") -> "BDD":
+        return BDD(self.manager, self.manager.implies(self.node, other.node))
+
+    def ite(self, then: "BDD", other: "BDD") -> "BDD":
+        return BDD(self.manager, self.manager.ite(self.node, then.node, other.node))
+
+    # -- quantification ----------------------------------------------------------
+
+    def exists(self, names: Iterable[str]) -> "BDD":
+        return BDD(self.manager, self.manager.exists(self.node, names))
+
+    def forall(self, names: Iterable[str]) -> "BDD":
+        return BDD(self.manager, self.manager.forall(self.node, names))
+
+    def and_exists(self, other: "BDD", names: Iterable[str]) -> "BDD":
+        return BDD(self.manager, self.manager.and_exists(self.node, other.node, names))
+
+    def rename(self, mapping: Mapping[str, str]) -> "BDD":
+        return BDD(self.manager, self.manager.rename(self.node, mapping))
+
+    def restrict(self, assignment: Mapping[str, bool]) -> "BDD":
+        return BDD(self.manager, self.manager.restrict(self.node, assignment))
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def is_false(self) -> bool:
+        return self.node == BDDManager.FALSE
+
+    @property
+    def is_true(self) -> bool:
+        return self.node == BDDManager.TRUE
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.manager.evaluate(self.node, assignment)
+
+    def support(self) -> set[str]:
+        return self.manager.support(self.node)
+
+    def dag_size(self) -> int:
+        return self.manager.dag_size(self.node)
+
+    def pick_assignment(self) -> dict[str, bool] | None:
+        return self.manager.pick_assignment(self.node)
+
+    def count_assignments(self, over: Sequence[str] | None = None) -> int:
+        return self.manager.count_assignments(self.node, over)
+
+    def iter_assignments(self, over: Sequence[str]) -> Iterator[dict[str, bool]]:
+        return self.manager.iter_assignments(self.node, over)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BDD):
+            return NotImplemented
+        return self.manager is other.manager and self.node == other.node
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "a BDD has no implicit truth value; use .is_true / .is_false "
+            "or compare with == explicitly"
+        )
+
+    def __repr__(self) -> str:
+        return f"<BDD node={self.node} size={self.dag_size()}>"

@@ -1,0 +1,17 @@
+"""Shared utilities and error types for the repro library."""
+
+from repro.core.errors import (
+    ReproError,
+    NavigationError,
+    ParseError,
+    CycleFreenessError,
+    SolverLimitError,
+)
+
+__all__ = [
+    "ReproError",
+    "NavigationError",
+    "ParseError",
+    "CycleFreenessError",
+    "SolverLimitError",
+]

@@ -1,0 +1,38 @@
+"""Error hierarchy shared by every subsystem of the library."""
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the library."""
+
+
+class NavigationError(ReproError):
+    """Raised when a focused-tree navigation step is undefined.
+
+    The paper (Section 3) defines the four navigation modalities as partial
+    functions; following an undefined modality raises this error.
+    """
+
+
+class ParseError(ReproError):
+    """Raised by the XPath, DTD and logic parsers on malformed input."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            context = text[max(0, position - 20):position + 20]
+            message = f"{message} (at position {position}, near {context!r})"
+        super().__init__(message)
+
+
+class CycleFreenessError(ReproError):
+    """Raised when a formula that must be cycle-free is not (Section 4)."""
+
+
+class SolverLimitError(ReproError):
+    """Raised when a solver refuses an instance that exceeds a configured limit.
+
+    The explicit solver of Figure 16 enumerates psi-types eagerly and is only
+    intended for small instances and cross-validation; it raises this error
+    instead of running for an unbounded amount of time.
+    """

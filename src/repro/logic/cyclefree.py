@@ -1,0 +1,191 @@
+"""Cycle-freeness of Lµ formulas (Section 4, Figure 3).
+
+A *modality cycle* in a path of modalities is a sub-sequence ``⟨a⟩⟨ā⟩`` (a
+step immediately undone by its converse).  A formula is *cycle-free* when
+there is a bound, independent of the number of fixpoint unfoldings, on the
+number of modality cycles in every path of the formula.
+
+Unboundedly many modality cycles can only be produced by going around a
+recursion loop whose modality word keeps creating cycles.  The check below
+therefore builds the *recursion graph* of the formula:
+
+* one node per bound recursion variable (after alpha-renaming so binders are
+  unique),
+* an edge ``X --w--> Y`` for every free occurrence of ``Y`` in the definition
+  of ``X``, labelled with the word ``w`` of modalities crossed between the
+  root of ``X``'s definition and that occurrence.
+
+The formula has unboundedly many modality cycles exactly when some cyclic
+walk of this graph yields a word whose infinite repetition contains a
+modality cycle — that is, when a modality cycle occurs either inside one of
+the words along the walk or at the junction of two consecutive words.  This
+is decided on the finite product graph of (variable, last modality) states.
+
+Like the paper's relation (Figure 3), the check inspects *every* fixpoint
+definition, even ones that are never reachable from the fixpoint body, so
+``µX = ⟨1⟩⟨1̄⟩X in ⊤`` is rejected exactly as discussed in Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import CycleFreenessError
+from repro.logic import syntax as sx
+from repro.trees.focus import inverse
+
+
+@dataclass
+class _RecursionGraph:
+    """Edges of the recursion graph, labelled by modality words."""
+
+    edges: dict[str, list[tuple[str, tuple[int, ...]]]] = field(default_factory=dict)
+
+    def add(self, source: str, target: str, word: tuple[int, ...]) -> None:
+        self.edges.setdefault(source, []).append((target, word))
+
+    def variables(self) -> set[str]:
+        names = set(self.edges)
+        for targets in self.edges.values():
+            names.update(target for target, _word in targets)
+        return names
+
+
+def _build_graph(formula: sx.Formula) -> _RecursionGraph:
+    renamed = sx.rename_bound_variables(formula)
+    graph = _RecursionGraph()
+
+    def walk_definition(owner: str, definition: sx.Formula) -> None:
+        _walk(owner, definition, ())
+
+    def _walk(owner: str, current: sx.Formula, word: tuple[int, ...]) -> None:
+        kind = current.kind
+        if kind == sx.KIND_VAR:
+            graph.add(owner, current.label, word)
+            return
+        if kind == sx.KIND_DIA:
+            _walk(owner, current.left, word + (current.prog,))
+            return
+        if kind in (sx.KIND_OR, sx.KIND_AND):
+            _walk(owner, current.left, word)
+            _walk(owner, current.right, word)
+            return
+        if current.is_fixpoint:
+            # Definitions are only entered through occurrences of their bound
+            # variables, so they are analysed as nodes of their own; the body
+            # continues the current syntactic path.
+            for name, definition in current.defs:
+                walk_definition(name, definition)
+            _walk(owner, current.body, word)
+            return
+        # Atoms contribute nothing.
+
+    # The top-level formula behaves like the definition of a virtual variable
+    # that nothing points back to: it cannot be part of a cycle, but walking it
+    # registers every nested fixpoint definition.
+    top = "__top__"
+    _walk(top, renamed, ())
+    return graph
+
+
+def _word_has_cycle(word: tuple[int, ...], incoming: int | None) -> tuple[bool, int | None]:
+    """Scan a modality word starting from a previous modality.
+
+    Returns ``(cycle_found, last_modality)`` where ``last_modality`` is the
+    final modality after the word (or ``incoming`` when the word is empty).
+    """
+    last = incoming
+    found = False
+    for modality in word:
+        if last is not None and modality == inverse(last):
+            found = True
+        last = modality
+    return found, last
+
+
+def find_unbounded_cycle(formula: sx.Formula) -> list[str] | None:
+    """Return a witness loop of recursion variables, or ``None`` if cycle-free.
+
+    The witness is a list of variable names (after alpha-renaming) along a
+    cyclic walk whose repeated modality word contains a modality cycle.
+    """
+    graph = _build_graph(formula)
+
+    # Product states: (variable, last modality or None).  A transition is
+    # "bad" when scanning its word from the incoming modality hits a cycle.
+    states: set[tuple[str, int | None]] = set()
+    transitions: dict[tuple[str, int | None], list[tuple[tuple[str, int | None], bool]]] = {}
+
+    def successors(state: tuple[str, int | None]) -> list[tuple[tuple[str, int | None], bool]]:
+        cached = transitions.get(state)
+        if cached is not None:
+            return cached
+        variable, last = state
+        result: list[tuple[tuple[str, int | None], bool]] = []
+        for target, word in graph.edges.get(variable, ()):
+            bad, new_last = _word_has_cycle(word, last)
+            result.append(((target, new_last), bad))
+        transitions[state] = result
+        return result
+
+    # Explore from every variable with an unknown incoming modality: a path of
+    # the unfolding may enter the loop with any history, and starting from
+    # "None" only under-approximates the bad transitions, which is compensated
+    # by also starting from each concrete modality.
+    start_states = [
+        (variable, last)
+        for variable in graph.variables()
+        for last in (None, 1, 2, -1, -2)
+    ]
+
+    # Reachability closure over the product graph.
+    stack = list(start_states)
+    while stack:
+        state = stack.pop()
+        if state in states:
+            continue
+        states.add(state)
+        for target, _bad in successors(state):
+            if target not in states:
+                stack.append(target)
+
+    # A bad transition u -> v witnesses unboundedness when v can reach u.
+    reach_cache: dict[tuple[str, int | None], set[tuple[str, int | None]]] = {}
+
+    def reachable_from(state: tuple[str, int | None]) -> set[tuple[str, int | None]]:
+        cached = reach_cache.get(state)
+        if cached is not None:
+            return cached
+        seen: set[tuple[str, int | None]] = set()
+        frontier = [state]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for target, _bad in successors(current):
+                if target not in seen:
+                    frontier.append(target)
+        reach_cache[state] = seen
+        return seen
+
+    for state in states:
+        for target, bad in successors(state):
+            if bad and state in reachable_from(target):
+                return [state[0], target[0]]
+    return None
+
+
+def is_cycle_free(formula: sx.Formula) -> bool:
+    """Whether the formula is cycle-free in the sense of Section 4."""
+    return find_unbounded_cycle(formula) is None
+
+
+def assert_cycle_free(formula: sx.Formula) -> None:
+    """Raise :class:`CycleFreenessError` when the formula is not cycle-free."""
+    witness = find_unbounded_cycle(formula)
+    if witness is not None:
+        raise CycleFreenessError(
+            "formula is not cycle-free: unbounded modality cycles around "
+            f"recursion variables {witness}"
+        )

@@ -1,0 +1,161 @@
+"""Parser for the textual Lµ syntax produced by :mod:`repro.logic.printer`.
+
+The grammar (lowest precedence first)::
+
+    formula  ::=  fixpoint | disjunct
+    fixpoint ::=  ("let_mu" | "let_nu") binding ("," binding)* "in" formula
+    binding  ::=  NAME "=" formula
+    disjunct ::=  conjunct ("|" conjunct)*
+    conjunct ::=  prefix ("&" prefix)*
+    prefix   ::=  "<" PROGRAM ">" prefix
+               |  "~" prefix
+               |  atom
+    atom     ::=  "T" | "F" | "s" | NAME | "$" NAME | "(" formula ")"
+
+Negation is accepted on any subformula; it is eliminated on the fly with
+:func:`repro.logic.negation.negate`, so the parsed result is always in the
+negation normal form the rest of the system expects.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import ParseError
+from repro.logic import syntax as sx
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<keyword>let_mu|let_nu|in)\b"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)"
+    r"|(?P<program><-?[12]>)"
+    r"|(?P<symbol>[()|&~,=$]))"
+)
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                if text[pos:].strip() == "":
+                    break
+                raise ParseError("unexpected character", pos, text)
+            for group in ("keyword", "name", "program", "symbol"):
+                value = match.group(group)
+                if value is not None:
+                    self.items.append((group, value, match.start(group)))
+                    break
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            return False
+        if value is not None and token[1] != value:
+            return False
+        self.index += 1
+        return True
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None or token[0] != kind or (value is not None and token[1] != value):
+            expected = value if value is not None else kind
+            position = token[2] if token is not None else len(self.text)
+            raise ParseError(f"expected {expected!r}", position, self.text)
+        return self.next()
+
+
+def parse_formula(text: str) -> sx.Formula:
+    """Parse a textual Lµ formula."""
+    tokens = _Tokens(text)
+    formula = _parse_formula(tokens)
+    if tokens.peek() is not None:
+        raise ParseError("trailing input after formula", tokens.peek()[2], text)
+    return formula
+
+
+def _parse_formula(tokens: _Tokens) -> sx.Formula:
+    token = tokens.peek()
+    if token is not None and token[0] == "keyword" and token[1] in ("let_mu", "let_nu"):
+        tokens.next()
+        keyword = token[1]
+        bindings: list[tuple[str, sx.Formula]] = []
+        while True:
+            name = tokens.expect("name")[1]
+            tokens.expect("symbol", "=")
+            definition = _parse_formula(tokens)
+            bindings.append((name, definition))
+            if not tokens.accept("symbol", ","):
+                break
+        tokens.expect("keyword", "in")
+        body = _parse_formula(tokens)
+        maker = sx.mu if keyword == "let_mu" else sx.nu
+        return maker(bindings, body)
+    return _parse_disjunct(tokens)
+
+
+def _parse_disjunct(tokens: _Tokens) -> sx.Formula:
+    result = _parse_conjunct(tokens)
+    while tokens.accept("symbol", "|"):
+        result = sx.mk_or(result, _parse_conjunct(tokens))
+    return result
+
+
+def _parse_conjunct(tokens: _Tokens) -> sx.Formula:
+    result = _parse_prefix(tokens)
+    while tokens.accept("symbol", "&"):
+        result = sx.mk_and(result, _parse_prefix(tokens))
+    return result
+
+
+def _parse_prefix(tokens: _Tokens) -> sx.Formula:
+    token = tokens.peek()
+    if token is None:
+        raise ParseError("unexpected end of formula", 0, tokens.text)
+    kind, value, position = token
+    if kind == "program":
+        tokens.next()
+        program = int(value[1:-1])
+        return sx.dia(program, _parse_prefix(tokens))
+    if kind == "symbol" and value == "~":
+        tokens.next()
+        from repro.logic.negation import negate
+
+        return negate(_parse_prefix(tokens))
+    return _parse_atom(tokens)
+
+
+def _parse_atom(tokens: _Tokens) -> sx.Formula:
+    kind, value, position = tokens.next()
+    if kind == "symbol" and value == "(":
+        inner = _parse_formula(tokens)
+        tokens.expect("symbol", ")")
+        return inner
+    if kind == "symbol" and value == "$":
+        name = tokens.expect("name")[1]
+        return sx.var(name)
+    if kind == "name":
+        if value == "T":
+            return sx.TRUE
+        if value == "F":
+            return sx.FALSE
+        if value == "s":
+            return sx.START
+        return sx.prop(value)
+    raise ParseError(f"unexpected token {value!r}", position, tokens.text)

@@ -1,0 +1,81 @@
+"""Textual rendering of Lµ formulas, in the style of Figure 14 of the paper.
+
+The concrete syntax (also accepted by :mod:`repro.logic.parser`) is::
+
+    T  F  s  ~s            truth, falsity, start proposition and its negation
+    name   ~name           atomic proposition and its negation
+    $X                     recursion variable
+    <1>phi <2>phi          existential modalities (first child / next sibling)
+    <-1>phi <-2>phi        converse modalities (parent / previous sibling)
+    ~<1>T ...              negated modalities
+    phi & psi   phi | psi  conjunction / disjunction
+    let_mu X = phi, Y = psi in body
+    let_nu X = phi, Y = psi in body
+"""
+
+from __future__ import annotations
+
+from repro.logic import syntax as sx
+
+
+def _format_program(program: int) -> str:
+    return str(program)
+
+
+def format_formula(formula: sx.Formula) -> str:
+    """Render a formula as a single-line string."""
+    return _format(formula, parent_precedence=0)
+
+
+# Precedence levels: 1 = | , 2 = & , 3 = prefix (modalities), 4 = atoms.
+
+
+def _format(formula: sx.Formula, parent_precedence: int) -> str:
+    kind = formula.kind
+    if kind == sx.KIND_TRUE:
+        return "T"
+    if kind == sx.KIND_FALSE:
+        return "F"
+    if kind == sx.KIND_START:
+        return "s"
+    if kind == sx.KIND_NSTART:
+        return "~s"
+    if kind == sx.KIND_PROP:
+        return formula.label
+    if kind == sx.KIND_NPROP:
+        return f"~{formula.label}"
+    if kind == sx.KIND_VAR:
+        return f"${formula.label}"
+    if kind == sx.KIND_NDIA:
+        return f"~<{_format_program(formula.prog)}>T"
+    if kind == sx.KIND_DIA:
+        inner = _format(formula.left, 3)
+        text = f"<{_format_program(formula.prog)}>{inner}"
+        return text
+    if kind == sx.KIND_OR:
+        text = f"{_format(formula.left, 1)} | {_format(formula.right, 1)}"
+        return f"({text})" if parent_precedence > 1 else text
+    if kind == sx.KIND_AND:
+        text = f"{_format(formula.left, 2)} & {_format(formula.right, 2)}"
+        return f"({text})" if parent_precedence > 2 else text
+    if kind in (sx.KIND_MU, sx.KIND_NU):
+        keyword = "let_mu" if kind == sx.KIND_MU else "let_nu"
+        bindings = ", ".join(
+            f"{name} = {_format(definition, 0)}" for name, definition in formula.defs
+        )
+        text = f"{keyword} {bindings} in {_format(formula.body, 0)}"
+        return f"({text})" if parent_precedence > 0 else text
+    raise AssertionError(f"unknown formula kind {kind!r}")
+
+
+def format_formula_pretty(formula: sx.Formula, indent: int = 2) -> str:
+    """Render a formula with one fixpoint binding per line (for reports)."""
+    kind = formula.kind
+    if kind in (sx.KIND_MU, sx.KIND_NU):
+        keyword = "let_mu" if kind == sx.KIND_MU else "let_nu"
+        pad = " " * indent
+        bindings = (",\n").join(
+            f"{pad}{name} = {_format(definition, 0)}" for name, definition in formula.defs
+        )
+        return f"{keyword}\n{bindings}\nin {_format(formula.body, 0)}"
+    return format_formula(formula)

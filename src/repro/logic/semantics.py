@@ -1,0 +1,135 @@
+"""Interpretation of Lµ formulas over finite universes of focused trees (Figure 2).
+
+The paper interprets formulas over ``F``, the set of *all* finite focused
+trees carrying a single start mark.  That set is infinite, so this module
+interprets formulas over an explicitly given finite universe instead —
+typically :func:`repro.trees.focus.document_universe` of a few documents.
+Because navigation never leaves the underlying document of a focused tree,
+membership of a focused tree in the interpretation of a closed formula only
+depends on the focused trees of the same document; restricting the universe to
+whole documents therefore agrees with the global interpretation.
+
+This interpreter is intentionally straightforward: it serves as the semantic
+oracle against which the satisfiability algorithm, the XPath translation and
+the type translation are tested.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.logic import syntax as sx
+from repro.trees.focus import FocusedTree, all_focuses
+from repro.trees.unranked import Tree
+
+Universe = frozenset[FocusedTree]
+Valuation = Mapping[str, frozenset[FocusedTree]]
+
+
+def interpret(
+    formula: sx.Formula,
+    universe: Universe,
+    valuation: Valuation | None = None,
+) -> frozenset[FocusedTree]:
+    """The interpretation ``JϕK_V`` restricted to ``universe``."""
+    valuation = dict(valuation or {})
+    return _interpret(formula, universe, valuation)
+
+
+def _interpret(
+    formula: sx.Formula,
+    universe: Universe,
+    valuation: dict[str, frozenset[FocusedTree]],
+) -> frozenset[FocusedTree]:
+    kind = formula.kind
+    if kind == sx.KIND_TRUE:
+        return universe
+    if kind == sx.KIND_FALSE:
+        return frozenset()
+    if kind == sx.KIND_PROP:
+        return frozenset(f for f in universe if f.name == formula.label)
+    if kind == sx.KIND_NPROP:
+        return frozenset(f for f in universe if f.name != formula.label)
+    if kind == sx.KIND_START:
+        return frozenset(f for f in universe if f.marked)
+    if kind == sx.KIND_NSTART:
+        return frozenset(f for f in universe if not f.marked)
+    if kind == sx.KIND_VAR:
+        return valuation.get(formula.label, frozenset())
+    if kind == sx.KIND_OR:
+        return _interpret(formula.left, universe, valuation) | _interpret(
+            formula.right, universe, valuation
+        )
+    if kind == sx.KIND_AND:
+        return _interpret(formula.left, universe, valuation) & _interpret(
+            formula.right, universe, valuation
+        )
+    if kind == sx.KIND_DIA:
+        inner = _interpret(formula.left, universe, valuation)
+        return frozenset(
+            f
+            for f in universe
+            if (successor := f.follow(formula.prog)) is not None and successor in inner
+        )
+    if kind == sx.KIND_NDIA:
+        return frozenset(f for f in universe if f.follow(formula.prog) is None)
+    if kind in (sx.KIND_MU, sx.KIND_NU):
+        return _interpret_fixpoint(formula, universe, valuation)
+    raise AssertionError(f"unknown formula kind {kind!r}")
+
+
+def _interpret_fixpoint(
+    formula: sx.Formula,
+    universe: Universe,
+    valuation: dict[str, frozenset[FocusedTree]],
+) -> frozenset[FocusedTree]:
+    names = [name for name, _definition in formula.defs]
+    if formula.kind == sx.KIND_MU:
+        current = {name: frozenset() for name in names}
+    else:
+        current = {name: universe for name in names}
+    while True:
+        extended = dict(valuation)
+        extended.update(current)
+        updated = {
+            name: _interpret(definition, universe, extended)
+            for name, definition in formula.defs
+        }
+        if updated == current:
+            break
+        current = updated
+    extended = dict(valuation)
+    extended.update(current)
+    return _interpret(formula.body, universe, extended)
+
+
+def satisfies(formula: sx.Formula, focused: FocusedTree) -> bool:
+    """Whether a focused tree satisfies a closed formula.
+
+    The universe is the set of focuses of the underlying document of
+    ``focused``; the document must carry exactly one start mark.
+    """
+    document = focused.document()
+    if document.mark_count() != 1:
+        raise ValueError(
+            "the underlying document must carry exactly one start mark; "
+            f"found {document.mark_count()}"
+        )
+    universe = frozenset(all_focuses(document))
+    return focused in interpret(formula, universe)
+
+
+def models_of(formula: sx.Formula, documents: list[Tree]) -> frozenset[FocusedTree]:
+    """All focused trees drawn from ``documents`` that satisfy the formula.
+
+    Every document must carry exactly one start mark.  This is a convenience
+    wrapper used by tests to compare the declarative semantics against the
+    satisfiability algorithm and the XPath interpreter.
+    """
+    result: set[FocusedTree] = set()
+    for document in documents:
+        if document.mark_count() != 1:
+            raise ValueError("each document must carry exactly one start mark")
+        universe = frozenset(all_focuses(document))
+        result |= interpret(formula, universe)
+    return frozenset(result)

@@ -1,0 +1,33 @@
+"""The satisfiability-testing algorithm (Sections 6 and 7).
+
+Given a cycle-free, closed Lµ formula ψ, the algorithm decides whether some
+finite focused tree (with a single start mark) satisfies ψ, and produces a
+smallest satisfying model when one exists.
+
+Two implementations are provided:
+
+* :mod:`repro.solver.explicit` — a direct implementation of the abstract
+  algorithm of Figure 16, manipulating explicit sets of ψ-types and witness
+  triples.  It is exponential in the Lean size and intended for small
+  formulas and for cross-validating the symbolic solver.
+* :mod:`repro.solver.symbolic` — the BDD-based implementation described in
+  Section 7: ψ-types as bit vectors, the ``∆ₐ`` relations as conjunctively
+  partitioned BDDs with early quantification, the "plunging" root formula,
+  and satisfying-model reconstruction.
+"""
+
+from repro.solver.truth import TypeAssignment, status_on_set, psi_types
+from repro.solver.explicit import ExplicitSolver
+from repro.solver.symbolic import SymbolicSolver, SolverResult, SolverStatistics
+from repro.solver.models import reconstruct_counterexample
+
+__all__ = [
+    "TypeAssignment",
+    "status_on_set",
+    "psi_types",
+    "ExplicitSolver",
+    "SymbolicSolver",
+    "SolverResult",
+    "SolverStatistics",
+    "reconstruct_counterexample",
+]

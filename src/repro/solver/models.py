@@ -1,0 +1,136 @@
+"""Satisfying model reconstruction (Section 7.2).
+
+When the solver finds the formula satisfiable, it extracts a small satisfying
+focused tree from the intermediate sets of types it computed: starting from a
+root type selected by the final check, it repeatedly finds a witness for every
+pending forward modality, searching the intermediate sets in the order they
+were produced so the model depth stays minimal.  The start mark is routed
+through exactly one branch, mirroring the marked/unmarked sets of the solver.
+
+The reconstructed model is a binary tree over the Lean's atomic propositions
+(the extra "any other label" proposition is rendered as ``_``), which callers
+can decode back to unranked XML syntax via
+:func:`repro.trees.binary.binary_forest_to_unranked`.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDD
+from repro.logic import syntax as sx
+from repro.logic.closure import OTHER_LABEL
+from repro.solver.relations import LeanEncoding, TransitionRelation
+from repro.trees.binary import BinTree
+
+#: Label used when the model node's proposition is "any other name".
+FRESH_LABEL = "_"
+
+
+def _bits_from_assignment(encoding: LeanEncoding, assignment: dict[str, bool]) -> dict[int, bool]:
+    bits: dict[int, bool] = {}
+    for index, name in enumerate(encoding.x_names):
+        bits[index] = assignment.get(name, False)
+    return bits
+
+
+def _label_of(encoding: LeanEncoding, bits: dict[int, bool]) -> str:
+    for label in encoding.lean.propositions:
+        if bits.get(encoding.lean.proposition_index(label), False):
+            return FRESH_LABEL if label == OTHER_LABEL else label
+    return FRESH_LABEL
+
+
+def reconstruct_counterexample(
+    encoding: LeanEncoding,
+    relations: dict[int, TransitionRelation],
+    snapshots: list[tuple[BDD, BDD]],
+    success: BDD,
+) -> BinTree:
+    """Build a satisfying binary tree from the solver's intermediate sets.
+
+    ``snapshots`` holds the (unmarked, marked) set pairs in the order they
+    were computed; ``success`` is the non-empty set of admissible (marked)
+    root types.  The root is taken from ``success`` and children are searched
+    in the earliest snapshot that contains a compatible witness, which keeps
+    the model depth minimal (Section 7.2).
+    """
+    root_assignment = success.pick_assignment()
+    if root_assignment is None:
+        raise ValueError("reconstruction called on an empty success set")
+    root_bits = _bits_from_assignment(encoding, root_assignment)
+    return _build_node(encoding, relations, snapshots, root_bits, carries_mark=True)
+
+
+def _build_node(
+    encoding: LeanEncoding,
+    relations: dict[int, TransitionRelation],
+    snapshots: list[tuple[BDD, BDD]],
+    bits: dict[int, bool],
+    carries_mark: bool,
+) -> BinTree:
+    lean = encoding.lean
+    marked_here = bool(bits.get(lean.start_index, False)) and carries_mark
+
+    children: dict[int, BinTree | None] = {1: None, 2: None}
+    # Decide through which branch the start mark must be routed.
+    mark_branch = 0
+    if carries_mark and not marked_here:
+        mark_branch = _choose_mark_branch(encoding, relations, snapshots, bits)
+
+    for program in (1, 2):
+        needs_child = bits.get(encoding.top_index(program), False)
+        if not needs_child:
+            continue
+        want_marked = program == mark_branch
+        child_bits = _find_child(
+            encoding, relations[program], snapshots, bits, want_marked
+        )
+        children[program] = _build_node(
+            encoding, relations, snapshots, child_bits, carries_mark=want_marked
+        )
+
+    return BinTree(
+        label=_label_of(encoding, bits),
+        left=children[1],
+        right=children[2],
+        marked=marked_here,
+    )
+
+
+def _choose_mark_branch(
+    encoding: LeanEncoding,
+    relations: dict[int, TransitionRelation],
+    snapshots: list[tuple[BDD, BDD]],
+    bits: dict[int, bool],
+) -> int:
+    """Pick the branch (1 or 2) through which the start mark is provable."""
+    for program in (1, 2):
+        if not bits.get(encoding.top_index(program), False):
+            continue
+        constraint = relations[program].child_constraint(bits)
+        for _unmarked, marked in snapshots:
+            if not (marked & constraint).is_false:
+                return program
+    raise ValueError(
+        "inconsistent solver state: a marked subtree has no marked branch; "
+        "this indicates a bug in the mark-tracking update"
+    )
+
+
+def _find_child(
+    encoding: LeanEncoding,
+    relation: TransitionRelation,
+    snapshots: list[tuple[BDD, BDD]],
+    bits: dict[int, bool],
+    want_marked: bool,
+) -> dict[int, bool]:
+    constraint = relation.child_constraint(bits)
+    for unmarked, marked in snapshots:
+        candidates = (marked if want_marked else unmarked) & constraint
+        if not candidates.is_false:
+            assignment = candidates.pick_assignment()
+            assert assignment is not None
+            return _bits_from_assignment(encoding, assignment)
+    raise ValueError(
+        "inconsistent solver state: a proved type has no witness in any "
+        "intermediate set; this indicates a bug in the update operation"
+    )

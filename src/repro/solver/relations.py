@@ -1,0 +1,302 @@
+"""BDD encoding of ψ-types and of the transition relations ∆ₐ (Sections 7.1, 7.3).
+
+Every Lean formula is represented by one BDD variable; a ψ-type is a
+bit-vector assignment of these variables.  Two vectors are used: the unprimed
+vector ``x`` for the types being added and the primed vector ``y`` for their
+candidate witnesses.  The relation ``∆ₐ(x, y)`` is a conjunction of
+equivalences — one per modal Lean formula for programs ``a`` and ``ā`` — and
+is never built as a single BDD: following Section 7.3 it is kept as a list of
+partitions that are conjoined with the frontier one at a time while
+quantifying out primed variables as early as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.ordering import interleaved_pairs
+from repro.logic import syntax as sx
+from repro.logic.closure import Lean
+from repro.trees.focus import FORWARD_MODALITIES, MODALITIES
+
+
+class LeanEncoding:
+    """Bit-vector encoding of ψ-types over a BDD manager.
+
+    Variable ``x{i}`` stands for "the i-th Lean formula belongs to the type";
+    ``y{i}`` is its primed (witness) copy.  The variable order interleaves the
+    two vectors and follows the Lean order, which itself follows the
+    breadth-first traversal of the formula (Section 7.4).
+    """
+
+    def __init__(self, lean: Lean, interleaved: bool = True):
+        self.lean = lean
+        self.x_names = [f"x{i}" for i in range(len(lean))]
+        self.y_names = [f"y{i}" for i in range(len(lean))]
+        if interleaved:
+            order = []
+            for x_name, y_name in zip(self.x_names, self.y_names):
+                order.append(x_name)
+                order.append(y_name)
+        else:
+            order = self.x_names + self.y_names
+        self.manager = BDDManager(order)
+        self._status_cache: dict[tuple[sx.Formula, bool], BDD] = {}
+        self._x_to_y = dict(zip(self.x_names, self.y_names))
+        self._y_to_x = dict(zip(self.y_names, self.x_names))
+
+    # -- literals ------------------------------------------------------------------
+
+    def x(self, index: int) -> BDD:
+        return self.manager.variable(self.x_names[index])
+
+    def y(self, index: int) -> BDD:
+        return self.manager.variable(self.y_names[index])
+
+    def literal(self, index: int, primed: bool) -> BDD:
+        return self.y(index) if primed else self.x(index)
+
+    def to_primed(self, function: BDD) -> BDD:
+        return function.rename(self._x_to_y)
+
+    def to_unprimed(self, function: BDD) -> BDD:
+        return function.rename(self._y_to_x)
+
+    # -- structural predicates (Section 7.1) ------------------------------------------
+
+    def top_index(self, program: int) -> int:
+        return self.lean.position(sx.dia(program, sx.TRUE))
+
+    def isparent(self, program: int, primed: bool = False) -> BDD:
+        """``isparentₐ``: the bit for ``⟨a⟩⊤`` is set."""
+        return self.literal(self.top_index(program), primed)
+
+    def ischild(self, program: int, primed: bool = False) -> BDD:
+        """``ischildₐ``: the bit for ``⟨ā⟩⊤`` is set."""
+        return self.literal(self.top_index(-program), primed)
+
+    def start(self, primed: bool = False) -> BDD:
+        return self.literal(self.lean.start_index, primed)
+
+    # -- the truth-status of a formula as a boolean function ----------------------------
+
+    def status(self, formula: sx.Formula, primed: bool = False) -> BDD:
+        """The BDD of ``statusᵩ`` over the (un)primed vector (Section 7.1)."""
+        key = (formula, primed)
+        cached = self._status_cache.get(key)
+        if cached is not None:
+            return cached
+        kind = formula.kind
+        manager = self.manager
+        if kind == sx.KIND_TRUE:
+            result = manager.true()
+        elif kind == sx.KIND_FALSE:
+            result = manager.false()
+        elif kind == sx.KIND_PROP:
+            result = self.literal(self.lean.proposition_index(formula.label), primed)
+        elif kind == sx.KIND_NPROP:
+            result = ~self.literal(self.lean.proposition_index(formula.label), primed)
+        elif kind == sx.KIND_START:
+            result = self.start(primed)
+        elif kind == sx.KIND_NSTART:
+            result = ~self.start(primed)
+        elif kind == sx.KIND_NDIA:
+            result = ~self.literal(self.top_index(formula.prog), primed)
+        elif kind == sx.KIND_DIA:
+            result = self.literal(self.lean.position(formula), primed)
+        elif kind == sx.KIND_AND:
+            result = self.status(formula.left, primed) & self.status(formula.right, primed)
+        elif kind == sx.KIND_OR:
+            result = self.status(formula.left, primed) | self.status(formula.right, primed)
+        elif formula.is_fixpoint:
+            result = self.status(sx.expand_fixpoint(formula), primed)
+        else:
+            raise ValueError(f"cannot compute the status of {formula!r}")
+        self._status_cache[key] = result
+        return result
+
+    # -- the characteristic function of Types(ψ) ------------------------------------------
+
+    def types_constraint(self, primed: bool = False) -> BDD:
+        """χ_Types: modal consistency, first/second child exclusion, one label."""
+        manager = self.manager
+        constraint = manager.true()
+        # Modal consistency: ⟨a⟩ϕ ∈ t implies ⟨a⟩⊤ ∈ t.
+        for program, _sub, index in self.lean.modal_items():
+            if index == self.top_index(program):
+                continue
+            constraint = constraint & self.literal(index, primed).implies(
+                self.literal(self.top_index(program), primed)
+            )
+        # A node cannot be both a first child and a second child.
+        constraint = constraint & ~(
+            self.literal(self.top_index(-1), primed)
+            & self.literal(self.top_index(-2), primed)
+        )
+        # Exactly one atomic proposition.
+        label_literals = [
+            self.literal(self.lean.proposition_index(label), primed)
+            for label in self.lean.propositions
+        ]
+        at_least_one = manager.false()
+        for literal in label_literals:
+            at_least_one = at_least_one | literal
+        at_most_one = manager.true()
+        for i in range(len(label_literals)):
+            for j in range(i + 1, len(label_literals)):
+                at_most_one = at_most_one & ~(label_literals[i] & label_literals[j])
+        return constraint & at_least_one & at_most_one
+
+
+@dataclass
+class _Partition:
+    """One conjunct Rᵢ(x, y) of ∆ₐ, with the primed variables it depends on."""
+
+    function: BDD
+    primed_support: frozenset[str]
+
+
+class TransitionRelation:
+    """The relation ∆ₐ of Definition 6.2 in partitioned (or monolithic) form.
+
+    ``witness(target)`` computes the Wit formula of Section 7.1: the set of
+    types ``x`` such that, *if* ``x`` claims an ``a``-child, a compatible
+    witness exists in ``target``; ``witness_strict`` additionally requires the
+    child to exist (used for propagating the start mark through a branch).
+    """
+
+    def __init__(
+        self,
+        encoding: LeanEncoding,
+        program: int,
+        early_quantification: bool = True,
+        monolithic: bool = False,
+    ):
+        if program not in FORWARD_MODALITIES:
+            raise ValueError("transition relations are built for programs 1 and 2 only")
+        self.encoding = encoding
+        self.program = program
+        self.early_quantification = early_quantification
+        self.monolithic = monolithic
+        self.partitions = self._build_partitions()
+        self._monolithic_relation: BDD | None = None
+        if monolithic:
+            relation = encoding.manager.true()
+            for partition in self.partitions:
+                relation = relation & partition.function
+            self._monolithic_relation = relation
+
+    def _build_partitions(self) -> list[_Partition]:
+        encoding = self.encoding
+        partitions: list[_Partition] = []
+        for item_program, sub, index in encoding.lean.modal_items():
+            if sub is sx.TRUE:
+                continue
+            if item_program == self.program:
+                # x_i  <=>  status_sub(y)
+                function = encoding.x(index).iff(encoding.status(sub, primed=True))
+            elif item_program == -self.program:
+                # y_i  <=>  status_sub(x)
+                function = encoding.y(index).iff(encoding.status(sub, primed=False))
+            else:
+                continue
+            primed_support = frozenset(
+                name for name in function.support() if name.startswith("y")
+            )
+            partitions.append(_Partition(function, primed_support))
+        return partitions
+
+    # -- relational products -----------------------------------------------------------
+
+    def _product(self, frontier_y: BDD) -> BDD:
+        """``∃ y . frontier(y) ∧ ∆ₐ(x, y)`` with early quantification."""
+        manager = self.encoding.manager
+        all_primed = set(self.encoding.y_names)
+
+        if self.monolithic and self._monolithic_relation is not None:
+            return frontier_y.and_exists(self._monolithic_relation, all_primed)
+
+        if not self.early_quantification:
+            conjunction = frontier_y
+            for partition in self.partitions:
+                conjunction = conjunction & partition.function
+            return conjunction.exists(all_primed)
+
+        # Greedy elimination order (Section 7.3): repeatedly eliminate the
+        # primed variable with the smallest total support of the partitions
+        # that still mention it.
+        remaining = list(self.partitions)
+        current = frontier_y
+        used_primed = set(frontier_y.support()) & all_primed
+        pending = all_primed
+
+        while remaining:
+            costs: dict[str, int] = {}
+            for partition in remaining:
+                for name in partition.primed_support:
+                    costs[name] = costs.get(name, 0) + len(partition.primed_support)
+            if not costs:
+                break
+            cheapest = min(costs, key=lambda name: (costs[name], name))
+            mentioning = [p for p in remaining if cheapest in p.primed_support]
+            remaining = [p for p in remaining if cheapest not in p.primed_support]
+            block = self.encoding.manager.true()
+            for partition in mentioning:
+                block = block & partition.function
+            still_needed = set()
+            for partition in remaining:
+                still_needed |= partition.primed_support
+            eliminable = (
+                (set(block.support()) | set(current.support())) & pending
+            ) - still_needed
+            current = current.and_exists(block, eliminable)
+            pending = pending - eliminable
+
+        for partition in remaining:
+            current = current & partition.function
+        current = current.exists(pending & set(current.support()))
+        return current
+
+    def witness(self, target_x: BDD) -> BDD:
+        """``Witₐ(target)``: ``isparentₐ(x) → ∃y (target(y) ∧ ischildₐ(y) ∧ ∆ₐ(x,y))``."""
+        frontier_y = self.encoding.to_primed(target_x) & self.encoding.ischild(
+            self.program, primed=True
+        )
+        product = self._product(frontier_y)
+        return self.encoding.isparent(self.program).implies(product)
+
+    def witness_strict(self, target_x: BDD) -> BDD:
+        """Like :meth:`witness` but the child must exist (mark propagation)."""
+        frontier_y = self.encoding.to_primed(target_x) & self.encoding.ischild(
+            self.program, primed=True
+        )
+        product = self._product(frontier_y)
+        return self.encoding.isparent(self.program) & product
+
+    def child_constraint(self, parent_bits: dict[int, bool]) -> BDD:
+        """The set of admissible children (over ``x``) of a concrete parent type.
+
+        Used by model reconstruction: given the parent's bit-vector, a child
+        type must support exactly the parent's ``⟨a⟩ϕ`` claims and claim
+        exactly the ``⟨ā⟩ϕ`` formulas whose body holds at the parent.
+        """
+        from repro.solver.truth import status_on_set
+
+        lean = self.encoding.lean
+        members = frozenset(
+            item for index, item in enumerate(lean.items) if parent_bits.get(index, False)
+        )
+        constraint = self.encoding.ischild(self.program, primed=False)
+        for item_program, sub, index in lean.modal_items():
+            if sub is sx.TRUE:
+                continue
+            if item_program == self.program:
+                required = parent_bits.get(index, False)
+                status = self.encoding.status(sub, primed=False)
+                constraint = constraint & (status if required else ~status)
+            elif item_program == -self.program:
+                holds_at_parent = status_on_set(sub, members)
+                literal = self.encoding.x(index)
+                constraint = constraint & (literal if holds_at_parent else ~literal)
+        return constraint

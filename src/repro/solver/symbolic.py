@@ -1,0 +1,242 @@
+"""The symbolic (BDD-based) satisfiability solver of Section 7.
+
+The solver tests the "plunging" formula ``µX. ψ ∨ ⟨1⟩X ∨ ⟨2⟩X`` at the root of
+focused trees: ψ is satisfiable exactly when some root type — a ψ-type with no
+pending backward modality, below which the start mark occurs exactly once —
+satisfies the plunging formula.  This removes the need to keep witness sets:
+at every iteration the solver only maintains the *set of types proved so far*,
+represented as a BDD over the Lean bit-vector.
+
+Two sets are maintained so that the start mark occurs exactly once in the
+proved trees, mirroring the four cases of ``Upd`` in Figure 16:
+
+* ``U`` — types of trees containing **no** mark,
+* ``M`` — types of trees containing **exactly one** mark (either at the root
+  of the subtree, or in exactly one of its branches).
+
+Each iteration adds to ``U`` the mark-free types whose required children have
+witnesses in ``U``, and to ``M`` the types marked at the node (children in
+``U``) or marked through exactly one branch (that branch's witness in ``M``,
+the other in ``U``).  The algorithm stops as soon as the final check succeeds
+(early termination on satisfiable formulas, one of the key practical
+advantages discussed in Section 9) or when both sets are stable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bdd.manager import BDD
+from repro.logic import syntax as sx
+from repro.logic.closure import Lean, lean as compute_lean
+from repro.logic.cyclefree import assert_cycle_free
+from repro.solver.relations import LeanEncoding, TransitionRelation
+from repro.trees.binary import BinTree
+from repro.trees.unranked import Tree
+from repro.trees.binary import binary_forest_to_unranked
+
+
+@dataclass
+class SolverStatistics:
+    """Measurements collected during one solver run."""
+
+    lean_size: int = 0
+    iterations: int = 0
+    relation_partitions: int = 0
+    peak_set_nodes: int = 0
+    translation_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "lean_size": self.lean_size,
+            "iterations": self.iterations,
+            "relation_partitions": self.relation_partitions,
+            "peak_set_nodes": self.peak_set_nodes,
+            "translation_seconds": round(self.translation_seconds, 6),
+            "solve_seconds": round(self.solve_seconds, 6),
+        }
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a satisfiability test."""
+
+    satisfiable: bool
+    model: BinTree | None
+    statistics: SolverStatistics
+    lean: Lean
+
+    @property
+    def unsatisfiable(self) -> bool:
+        return not self.satisfiable
+
+    def model_document(self) -> Tree | None:
+        """The satisfying model as an unranked tree (first top-level tree)."""
+        forest = self.model_forest()
+        if forest is None:
+            return None
+        return forest[0]
+
+    def model_forest(self) -> tuple[Tree, ...] | None:
+        """The satisfying model decoded as an unranked forest."""
+        if self.model is None:
+            return None
+        return binary_forest_to_unranked(self.model)
+
+
+@dataclass
+class SymbolicSolver:
+    """BDD-based decision procedure for cycle-free closed Lµ formulas.
+
+    Parameters mirror the implementation choices discussed in Section 7 and
+    are exposed so the benchmarks can ablate them:
+
+    * ``early_quantification`` — conjunctive partitioning with early
+      quantification (Section 7.3); when False the relational product conjoins
+      everything before quantifying.
+    * ``monolithic_relation`` — build the full ``∆ₐ`` BDD up front instead of
+      keeping it partitioned.
+    * ``interleaved_order`` — interleave the unprimed/primed vectors in the
+      BDD variable order (Section 7.4).
+    * ``track_marks`` — maintain the two sets ``U``/``M`` enforcing that the
+      start mark occurs exactly once; switching this off reproduces the
+      unsound behaviour that motivates the four-case update of Figure 16.
+    * ``check_cycle_freeness`` — verify the input formula is cycle-free before
+      solving (the algorithm is only correct for cycle-free formulas).
+    """
+
+    formula: sx.Formula
+    extra_labels: tuple[str, ...] = ()
+    early_quantification: bool = True
+    monolithic_relation: bool = False
+    interleaved_order: bool = True
+    track_marks: bool = True
+    check_cycle_freeness: bool = False
+    max_iterations: int = 10_000
+    keep_snapshots: bool = True
+
+    _lean: Lean = field(init=False, repr=False)
+    _plunged: sx.Formula = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.check_cycle_freeness:
+            assert_cycle_free(self.formula)
+        self._plunged = sx.mu1(
+            lambda x: self.formula | sx.dia(1, x) | sx.dia(2, x), prefix="Plunge"
+        )
+        self._lean = compute_lean(self._plunged, extra_labels=self.extra_labels)
+
+    @property
+    def lean(self) -> Lean:
+        return self._lean
+
+    # -- main loop --------------------------------------------------------------------
+
+    def solve(self) -> SolverResult:
+        statistics = SolverStatistics(lean_size=len(self._lean))
+        start_translation = time.perf_counter()
+
+        encoding = LeanEncoding(self._lean, interleaved=self.interleaved_order)
+        relations = {
+            program: TransitionRelation(
+                encoding,
+                program,
+                early_quantification=self.early_quantification,
+                monolithic=self.monolithic_relation,
+            )
+            for program in (1, 2)
+        }
+        statistics.relation_partitions = sum(
+            len(relation.partitions) for relation in relations.values()
+        )
+
+        types = encoding.types_constraint(primed=False)
+        start_literal = encoding.start(primed=False)
+        is_root = ~encoding.ischild(1) & ~encoding.ischild(2)
+        root_status = encoding.status(self._plunged, primed=False)
+        final_filter = is_root & root_status
+
+        statistics.translation_seconds = time.perf_counter() - start_translation
+        start_solve = time.perf_counter()
+
+        false = encoding.manager.false()
+        unmarked = false
+        marked = false
+        snapshots: list[tuple[BDD, BDD]] = []
+        satisfiable = False
+        model: BinTree | None = None
+
+        for iteration in range(1, self.max_iterations + 1):
+            statistics.iterations = iteration
+            if self.track_marks:
+                witness_unmarked = {
+                    program: relations[program].witness(unmarked) for program in (1, 2)
+                }
+                new_unmarked = (
+                    types & ~start_literal & witness_unmarked[1] & witness_unmarked[2]
+                )
+                strict_marked = {
+                    program: relations[program].witness_strict(marked)
+                    for program in (1, 2)
+                }
+                marked_here = start_literal & witness_unmarked[1] & witness_unmarked[2]
+                marked_first = (
+                    ~start_literal & strict_marked[1] & witness_unmarked[2]
+                )
+                marked_second = (
+                    ~start_literal & witness_unmarked[1] & strict_marked[2]
+                )
+                new_marked = types & (marked_here | marked_first | marked_second)
+            else:
+                # Unsound shortcut kept for the ablation benchmark: a single
+                # set is maintained and the mark is treated as an ordinary
+                # proposition, so several marks (or none) may occur in a
+                # "model".  This is exactly what the four-case update of
+                # Figure 16 prevents.
+                new_unmarked = false
+                new_marked = (
+                    types
+                    & relations[1].witness(marked)
+                    & relations[2].witness(marked)
+                )
+
+            next_unmarked = unmarked | new_unmarked
+            next_marked = marked | new_marked
+            changed = next_unmarked != unmarked or next_marked != marked
+            unmarked, marked = next_unmarked, next_marked
+            if self.keep_snapshots:
+                snapshots.append((unmarked, marked))
+            statistics.peak_set_nodes = max(
+                statistics.peak_set_nodes, unmarked.dag_size() + marked.dag_size()
+            )
+
+            success = marked & final_filter
+            if not success.is_false:
+                satisfiable = True
+                if self.track_marks:
+                    from repro.solver.models import reconstruct_counterexample
+
+                    model = reconstruct_counterexample(
+                        encoding,
+                        relations,
+                        snapshots if self.keep_snapshots else [(unmarked, marked)],
+                        success,
+                    )
+                break
+            if not changed:
+                break
+
+        statistics.solve_seconds = time.perf_counter() - start_solve
+        return SolverResult(
+            satisfiable=satisfiable,
+            model=model,
+            statistics=statistics,
+            lean=self._lean,
+        )
+
+
+def is_satisfiable(formula: sx.Formula, **options) -> bool:
+    """Convenience wrapper: run the symbolic solver and return satisfiability."""
+    return SymbolicSolver(formula, **options).solve().satisfiable

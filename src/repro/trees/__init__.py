@@ -1,0 +1,55 @@
+"""Tree data models: unranked XML trees, binary encodings, focused trees.
+
+The paper (Section 3) models XML documents as *focused trees*: a zipper-style
+pair of the subtree in focus and its full context (left siblings in reverse
+order, parent context, right siblings).  Navigation is performed "in binary
+style" through four modalities:
+
+* ``1``  — first child,
+* ``2``  — next sibling,
+* ``-1`` — parent, when the focus is a leftmost sibling (written 1̄ in the paper),
+* ``-2`` — previous sibling (written 2̄ in the paper).
+
+This package provides:
+
+* :mod:`repro.trees.unranked` — plain unranked labelled trees with a tiny
+  XML-ish parser and serialiser,
+* :mod:`repro.trees.binary`   — the standard binary encoding
+  (first-child / next-sibling) and conversions to and from unranked trees,
+* :mod:`repro.trees.focus`    — focused trees with the single start mark and
+  the four navigation modalities.
+"""
+
+from repro.trees.unranked import Tree, parse_tree, serialize_tree
+from repro.trees.binary import BinTree, to_binary, to_unranked
+from repro.trees.focus import (
+    Context,
+    Enclosing,
+    FocusedTree,
+    MODALITIES,
+    FORWARD_MODALITIES,
+    BACKWARD_MODALITIES,
+    inverse,
+    focus_root,
+    all_focuses,
+    document_universe,
+)
+
+__all__ = [
+    "Tree",
+    "parse_tree",
+    "serialize_tree",
+    "BinTree",
+    "to_binary",
+    "to_unranked",
+    "Context",
+    "Enclosing",
+    "FocusedTree",
+    "MODALITIES",
+    "FORWARD_MODALITIES",
+    "BACKWARD_MODALITIES",
+    "inverse",
+    "focus_root",
+    "all_focuses",
+    "document_universe",
+]

@@ -1,0 +1,102 @@
+"""Binary encoding of unranked trees (first-child / next-sibling).
+
+The logic and the satisfiability algorithm reason over binary trees: modality
+``1`` reaches the first child and modality ``2`` the next sibling (Section 3).
+The encoding used here is the standard isomorphism between unranked forests
+and binary trees also used for regular tree types (Section 5.2 and [26] in the
+paper): a forest ``t :: tl`` becomes a binary node whose left subtree encodes
+the children of ``t`` and whose right subtree encodes the remaining forest
+``tl``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trees.unranked import Tree
+
+
+@dataclass(frozen=True)
+class BinTree:
+    """A binary tree node: label, optional left/right subtrees, optional mark."""
+
+    label: str
+    left: "BinTree | None" = None
+    right: "BinTree | None" = None
+    marked: bool = False
+
+    def size(self) -> int:
+        """Number of nodes."""
+        total = 1
+        if self.left is not None:
+            total += self.left.size()
+        if self.right is not None:
+            total += self.right.size()
+        return total
+
+    def depth(self) -> int:
+        """Number of nodes on the longest path from this node downward."""
+        left = self.left.depth() if self.left is not None else 0
+        right = self.right.depth() if self.right is not None else 0
+        return 1 + max(left, right)
+
+    def labels(self) -> set[str]:
+        """Set of labels occurring in this binary tree."""
+        result = {self.label}
+        if self.left is not None:
+            result |= self.left.labels()
+        if self.right is not None:
+            result |= self.right.labels()
+        return result
+
+    def mark_count(self) -> int:
+        """Number of marked nodes."""
+        total = 1 if self.marked else 0
+        if self.left is not None:
+            total += self.left.mark_count()
+        if self.right is not None:
+            total += self.right.mark_count()
+        return total
+
+
+def to_binary(tree: Tree) -> BinTree:
+    """Encode an unranked tree as a binary tree.
+
+    The root of an XML document has no siblings, so the right subtree of the
+    resulting root is always empty.
+    """
+    return _forest_to_binary((tree,))
+
+
+def _forest_to_binary(forest: tuple[Tree, ...]) -> BinTree | None:
+    if not forest:
+        return None
+    head, rest = forest[0], forest[1:]
+    return BinTree(
+        head.label,
+        _forest_to_binary(head.children),
+        _forest_to_binary(rest),
+        head.marked,
+    )
+
+
+def to_unranked(node: BinTree) -> Tree:
+    """Decode a binary tree that encodes a single unranked tree.
+
+    The binary root must not have a right subtree (an XML document element has
+    no siblings); use :func:`binary_forest_to_unranked` for general forests.
+    """
+    if node.right is not None:
+        raise ValueError("binary root has a sibling; this is a forest, not a single tree")
+    forest = binary_forest_to_unranked(node)
+    return forest[0]
+
+
+def binary_forest_to_unranked(node: BinTree | None) -> tuple[Tree, ...]:
+    """Decode a binary tree into the forest of unranked trees it represents."""
+    result: list[Tree] = []
+    while node is not None:
+        children = binary_forest_to_unranked(node.left)
+        result.append(Tree(node.label, children, node.marked))
+        node = node.right
+    return tuple(result)

@@ -1,0 +1,227 @@
+"""Focused trees: the zipper data model of Section 3.
+
+A focused tree is a pair ``(t, c)`` of the subtree currently in focus and its
+context.  The context records the left siblings of the focus (in reverse
+order), the enclosing element (or ``Top`` when the focus is at the root level)
+and the right siblings.  Exactly one node of the underlying document carries
+the *start mark*; the logic's start proposition ``s`` holds at a focused tree
+whose focus node is the marked one.
+
+Navigation follows the four modalities of the paper:
+
+* ``1``  — move to the first child,
+* ``2``  — move to the next sibling,
+* ``-1`` — move to the parent (only when the focus is a leftmost sibling),
+* ``-2`` — move to the previous sibling.
+
+Each navigation step is a partial function; :meth:`FocusedTree.follow` returns
+``None`` when the step is undefined, and :meth:`FocusedTree.follow_or_raise`
+raises :class:`~repro.core.errors.NavigationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import NavigationError
+from repro.trees.unranked import Tree
+
+#: The four navigation programs of the logic.  Positive numbers are the
+#: forward modalities (first child, next sibling); negative numbers are their
+#: converses (written with an overline in the paper).
+MODALITIES: tuple[int, ...] = (1, 2, -1, -2)
+FORWARD_MODALITIES: tuple[int, ...] = (1, 2)
+BACKWARD_MODALITIES: tuple[int, ...] = (-1, -2)
+
+
+def inverse(modality: int) -> int:
+    """Return the converse program: ``inverse(1) == -1`` and so on."""
+    if modality not in (1, 2, -1, -2):
+        raise ValueError(f"not a modality: {modality!r}")
+    return -modality
+
+
+@dataclass(frozen=True)
+class Enclosing:
+    """The "above" part of a context node ``c[σ]``: an enclosing element."""
+
+    context: "Context"
+    label: str
+    marked: bool = False
+
+
+@dataclass(frozen=True)
+class Context:
+    """A context: left siblings (reversed), the part above, right siblings.
+
+    ``parent`` is ``None`` when the focus is at the root level (the paper's
+    ``Top``), otherwise an :class:`Enclosing` value ``c[σ]``.
+    """
+
+    left: tuple[Tree, ...] = ()
+    parent: Enclosing | None = None
+    right: tuple[Tree, ...] = ()
+
+    @property
+    def is_top(self) -> bool:
+        """True when the focus is at the root level of the document."""
+        return self.parent is None
+
+
+#: The empty top-level context.
+TOP_CONTEXT = Context((), None, ())
+
+
+@dataclass(frozen=True)
+class FocusedTree:
+    """A focused tree ``(t, c)``; the unit of interpretation of the logic."""
+
+    tree: Tree
+    context: Context = TOP_CONTEXT
+
+    # -- observations --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The label of the node in focus (the paper's ``nm``)."""
+        return self.tree.label
+
+    @property
+    def marked(self) -> bool:
+        """Whether the node in focus carries the start mark (proposition ``s``)."""
+        return self.tree.marked
+
+    # -- navigation ----------------------------------------------------------
+
+    def follow(self, modality: int) -> "FocusedTree | None":
+        """Follow a modality, returning ``None`` when the step is undefined."""
+        if modality == 1:
+            return self._first_child()
+        if modality == 2:
+            return self._next_sibling()
+        if modality == -1:
+            return self._parent()
+        if modality == -2:
+            return self._previous_sibling()
+        raise ValueError(f"not a modality: {modality!r}")
+
+    def follow_or_raise(self, modality: int) -> "FocusedTree":
+        """Follow a modality, raising :class:`NavigationError` when undefined."""
+        result = self.follow(modality)
+        if result is None:
+            raise NavigationError(f"modality {modality} undefined at node {self.name!r}")
+        return result
+
+    def has(self, modality: int) -> bool:
+        """Whether the modality is defined at this focused tree (``⟨a⟩⊤``)."""
+        return self.follow(modality) is not None
+
+    def _first_child(self) -> "FocusedTree | None":
+        children = self.tree.children
+        if not children:
+            return None
+        enclosing = Enclosing(self.context, self.tree.label, self.tree.marked)
+        return FocusedTree(children[0], Context((), enclosing, children[1:]))
+
+    def _next_sibling(self) -> "FocusedTree | None":
+        context = self.context
+        if context.parent is None or not context.right:
+            return None
+        new_left = (self.tree,) + context.left
+        return FocusedTree(
+            context.right[0],
+            Context(new_left, context.parent, context.right[1:]),
+        )
+
+    def _parent(self) -> "FocusedTree | None":
+        context = self.context
+        if context.parent is None or context.left:
+            return None
+        enclosing = context.parent
+        rebuilt = Tree(
+            enclosing.label,
+            (self.tree,) + context.right,
+            enclosing.marked,
+        )
+        return FocusedTree(rebuilt, enclosing.context)
+
+    def _previous_sibling(self) -> "FocusedTree | None":
+        context = self.context
+        if context.parent is None or not context.left:
+            return None
+        previous = context.left[0]
+        new_right = (self.tree,) + context.right
+        return FocusedTree(
+            previous,
+            Context(context.left[1:], context.parent, new_right),
+        )
+
+    # -- global views ---------------------------------------------------------
+
+    def to_root(self) -> "FocusedTree":
+        """Navigate to the top-most, left-most position (the document root)."""
+        current = self
+        while True:
+            up = current.follow(-1)
+            if up is not None:
+                current = up
+                continue
+            back = current.follow(-2)
+            if back is not None:
+                current = back
+                continue
+            return current
+
+    def document(self) -> Tree:
+        """Rebuild the whole underlying document (an unranked tree)."""
+        return self.to_root().tree
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return f"FocusedTree(focus={self.name!r}, document={self.document()})"
+
+
+# ---------------------------------------------------------------------------
+# Building focused trees from documents
+# ---------------------------------------------------------------------------
+
+
+def focus_root(document: Tree) -> FocusedTree:
+    """Focus a document at its root, with the empty top-level context."""
+    return FocusedTree(document, TOP_CONTEXT)
+
+
+def focus_at(document: Tree, path: tuple[int, ...]) -> FocusedTree:
+    """Focus a document at the node designated by a child-index path."""
+    focus = focus_root(document)
+    for index in path:
+        focus = focus.follow_or_raise(1)
+        for _ in range(index):
+            focus = focus.follow_or_raise(2)
+    return focus
+
+
+def all_focuses(document: Tree) -> Iterator[FocusedTree]:
+    """Yield the document focused at each of its nodes, in document order."""
+    for path, _node in sorted(document.iter_paths()):
+        yield focus_at(document, path)
+
+
+def document_universe(documents: list[Tree]) -> frozenset[FocusedTree]:
+    """Build a finite universe of focused trees from marked documents.
+
+    The logic's interpretation (Figure 2) ranges over the infinite set of all
+    finite focused trees with a single start mark.  For testing we restrict to
+    the focused trees derived from a given list of documents; each document
+    must carry exactly one mark.  Because navigation never leaves a document,
+    interpreting a formula inside this restricted universe agrees with the
+    global interpretation on these focused trees.
+    """
+    universe: set[FocusedTree] = set()
+    for document in documents:
+        if document.mark_count() != 1:
+            raise ValueError(
+                f"document must carry exactly one start mark, got {document.mark_count()}"
+            )
+        universe.update(all_focuses(document))
+    return frozenset(universe)

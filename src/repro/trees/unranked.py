@@ -1,0 +1,218 @@
+"""Unranked labelled trees (the element structure of an XML document).
+
+The paper ignores attributes, text content and data values (Section 1 restricts
+the XPath fragment to the navigational core), so a document is simply a tree of
+element labels.  A node may carry the *start mark* used by the logic to record
+where XPath evaluation started (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.core.errors import ParseError
+
+
+@dataclass(frozen=True)
+class Tree:
+    """An unranked tree node: a label, an ordered tuple of children, and a mark.
+
+    Instances are immutable and hashable so they can be used inside the
+    focused-tree zipper and inside sets of focused trees.
+    """
+
+    label: str
+    children: tuple["Tree", ...] = ()
+    marked: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.children, tuple):
+            object.__setattr__(self, "children", tuple(self.children))
+
+    # -- structural helpers -------------------------------------------------
+
+    def with_mark(self, marked: bool = True) -> "Tree":
+        """Return the same node with its mark set to ``marked``."""
+        return replace(self, marked=marked)
+
+    def unmark_all(self) -> "Tree":
+        """Return a copy of the whole tree with every mark removed."""
+        return Tree(self.label, tuple(c.unmark_all() for c in self.children), False)
+
+    def mark_at(self, path: tuple[int, ...]) -> "Tree":
+        """Return a copy with the mark placed on the node at ``path``.
+
+        ``path`` is a sequence of child indexes from this node; the empty path
+        marks this node itself.  Any pre-existing mark is preserved, so callers
+        normally start from an unmarked tree (see :meth:`unmark_all`).
+        """
+        if not path:
+            return self.with_mark(True)
+        index, rest = path[0], path[1:]
+        if index < 0 or index >= len(self.children):
+            raise IndexError(f"no child {index} under node {self.label!r}")
+        new_children = list(self.children)
+        new_children[index] = new_children[index].mark_at(rest)
+        return Tree(self.label, tuple(new_children), self.marked)
+
+    # -- traversal ----------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator["Tree"]:
+        """Yield every node of the tree in document (pre) order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def iter_paths(self) -> Iterator[tuple[tuple[int, ...], "Tree"]]:
+        """Yield ``(path, node)`` pairs in document order."""
+        stack: list[tuple[tuple[int, ...], Tree]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            for i in range(len(node.children) - 1, -1, -1):
+                stack.append((path + (i,), node.children[i]))
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        """Number of nodes on the longest root-to-leaf path."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def labels(self) -> set[str]:
+        """Set of labels occurring in the tree."""
+        return {node.label for node in self.iter_nodes()}
+
+    def mark_count(self) -> int:
+        """Number of marked nodes (a focused tree requires exactly one)."""
+        return sum(1 for node in self.iter_nodes() if node.marked)
+
+    def find_mark(self) -> tuple[int, ...] | None:
+        """Return the path of the first marked node, or ``None``."""
+        for path, node in self.iter_paths():
+            if node.marked:
+                return path
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return serialize_tree(self)
+
+
+# ---------------------------------------------------------------------------
+# Parsing / serialising a tiny XML-like syntax: <a><b/><c></c></a>
+# The start mark is written as a trailing "!" on the tag name: <a!/>.
+# ---------------------------------------------------------------------------
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:")
+
+
+class _XmlScanner:
+    """A minimal scanner for the element-only XML subset used by the library."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos, self.text)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, char: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected an element name")
+        return self.text[start:self.pos]
+
+    def at(self, string: str) -> bool:
+        return self.text.startswith(string, self.pos)
+
+
+def parse_tree(text: str) -> Tree:
+    """Parse an element-only XML string into a :class:`Tree`.
+
+    The accepted syntax is ``<name> ... </name>`` and ``<name/>``; a ``!``
+    immediately after the name marks the node as the start node, e.g.
+    ``<a><b!/></a>``.  Attributes, text content, comments and processing
+    instructions are rejected: the paper's data model has none of them.
+    """
+    scanner = _XmlScanner(text)
+    scanner.skip_ws()
+    tree = _parse_element(scanner)
+    scanner.skip_ws()
+    if scanner.pos != len(scanner.text):
+        raise scanner.error("trailing content after the document element")
+    return tree
+
+
+def _parse_element(scanner: _XmlScanner) -> Tree:
+    scanner.expect("<")
+    name = scanner.read_name()
+    marked = False
+    if scanner.at("!"):
+        marked = True
+        scanner.pos += 1
+    scanner.skip_ws()
+    if scanner.at("/>"):
+        scanner.pos += 2
+        return Tree(name, (), marked)
+    scanner.expect(">")
+    children: list[Tree] = []
+    while True:
+        scanner.skip_ws()
+        if scanner.at("</"):
+            scanner.pos += 2
+            closing = scanner.read_name()
+            if closing != name:
+                raise scanner.error(f"mismatched closing tag </{closing}> for <{name}>")
+            scanner.skip_ws()
+            scanner.expect(">")
+            return Tree(name, tuple(children), marked)
+        if scanner.at("<"):
+            children.append(_parse_element(scanner))
+        else:
+            raise scanner.error("unexpected character inside element content")
+
+
+def serialize_tree(tree: Tree, indent: int | None = None) -> str:
+    """Serialise a :class:`Tree` back to the XML-like syntax of :func:`parse_tree`.
+
+    With ``indent`` set to a non-negative integer, the output is pretty-printed
+    with that many spaces per nesting level; otherwise it is a single line.
+    """
+    if indent is None:
+        return _serialize_compact(tree)
+    return "\n".join(_serialize_pretty(tree, 0, indent))
+
+
+def _serialize_compact(tree: Tree) -> str:
+    mark = "!" if tree.marked else ""
+    if not tree.children:
+        return f"<{tree.label}{mark}/>"
+    inner = "".join(_serialize_compact(child) for child in tree.children)
+    return f"<{tree.label}{mark}>{inner}</{tree.label}>"
+
+
+def _serialize_pretty(tree: Tree, level: int, indent: int) -> list[str]:
+    pad = " " * (indent * level)
+    mark = "!" if tree.marked else ""
+    if not tree.children:
+        return [f"{pad}<{tree.label}{mark}/>"]
+    lines = [f"{pad}<{tree.label}{mark}>"]
+    for child in tree.children:
+        lines.extend(_serialize_pretty(child, level + 1, indent))
+    lines.append(f"{pad}</{tree.label}>")
+    return lines

@@ -1,0 +1,70 @@
+"""XML regular tree types (Section 5.2, Figures 12-14).
+
+Regular tree languages subsume the mainstream XML schema formalisms (DTD,
+XML Schema, Relax NG).  The paper embeds them into the logic through *binary*
+regular tree type expressions; the pipeline reproduced here is the one shown
+on the Wikipedia DTD fragment of the paper:
+
+DTD (Figure 12)  →  binary tree type grammar (Figure 13)  →  Lµ formula (Figure 14)
+
+* :mod:`repro.xmltypes.content`    — element content models (regular
+  expressions over element names),
+* :mod:`repro.xmltypes.dtd`        — a DTD parser (elements, content models,
+  parameter entities),
+* :mod:`repro.xmltypes.ast`        — binary regular tree type grammars,
+* :mod:`repro.xmltypes.binarize`   — DTD → binary tree types,
+* :mod:`repro.xmltypes.compile`    — binary tree types → Lµ,
+* :mod:`repro.xmltypes.membership` — direct membership checking (validation),
+* :mod:`repro.xmltypes.library`    — built-in DTDs used in the evaluation
+  (SMIL 1.0, XHTML 1.0 Strict, the Wikipedia fragment).
+"""
+
+from repro.xmltypes.content import (
+    ContentModel,
+    CEmpty,
+    CSymbol,
+    CSeq,
+    CChoice,
+    COptional,
+    CStar,
+    CPlus,
+)
+from repro.xmltypes.dtd import DTD, ElementDeclaration, parse_dtd
+from repro.xmltypes.ast import BinaryTypeGrammar, EPSILON, LabelAlternative
+from repro.xmltypes.binarize import binarize_dtd
+from repro.xmltypes.compile import compile_grammar, compile_dtd
+from repro.xmltypes.membership import grammar_accepts, dtd_accepts
+from repro.xmltypes.library import (
+    smil_dtd,
+    xhtml_strict_dtd,
+    xhtml_core_dtd,
+    wikipedia_dtd,
+    builtin_dtd,
+)
+
+__all__ = [
+    "ContentModel",
+    "CEmpty",
+    "CSymbol",
+    "CSeq",
+    "CChoice",
+    "COptional",
+    "CStar",
+    "CPlus",
+    "DTD",
+    "ElementDeclaration",
+    "parse_dtd",
+    "BinaryTypeGrammar",
+    "EPSILON",
+    "LabelAlternative",
+    "binarize_dtd",
+    "compile_grammar",
+    "compile_dtd",
+    "grammar_accepts",
+    "dtd_accepts",
+    "smil_dtd",
+    "xhtml_strict_dtd",
+    "xhtml_core_dtd",
+    "wikipedia_dtd",
+    "builtin_dtd",
+]

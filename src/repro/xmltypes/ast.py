@@ -1,0 +1,125 @@
+"""Binary regular tree type expressions (Section 5.2).
+
+The paper's binary tree type expressions are::
+
+    T ::= ∅ | ε | T₁ ∪ T₂ | σ(X₁, X₂) | let Xᵢ.Tᵢ in T
+
+A whole ``let`` is represented here as a *grammar*: a mapping from type
+variables to their sets of alternatives, where each alternative is either the
+leaf ``ε`` or a labelled pair ``σ(X₁, X₂)`` (label, type of the first child,
+type of the next sibling), plus a designated start variable.  This matches the
+textual presentation of Figure 13::
+
+    $5 -> edit($6, $Epsilon) | edit($6, $5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+
+@dataclass(frozen=True)
+class Epsilon:
+    """The alternative ε: the empty tree (end of a sibling chain)."""
+
+    def __str__(self) -> str:
+        return "EPSILON"
+
+
+#: The unique ε alternative.
+EPSILON = Epsilon()
+
+
+@dataclass(frozen=True)
+class LabelAlternative:
+    """The alternative ``σ(X₁, X₂)``: a node labelled ``label`` whose children
+    forest has type ``first`` and whose remaining siblings have type ``next``."""
+
+    label: str
+    first: str
+    next: str
+
+    def __str__(self) -> str:
+        return f"{self.label}(${self.first}, ${self.next})"
+
+
+Alternative = Union[Epsilon, LabelAlternative]
+
+
+@dataclass
+class BinaryTypeGrammar:
+    """A binary regular tree type: variables, alternatives and a start variable."""
+
+    variables: dict[str, tuple[Alternative, ...]] = field(default_factory=dict)
+    start: str = "Start"
+    name: str = "type"
+
+    #: Conventional name of the variable denoting the empty tree.
+    EPSILON_VARIABLE = "Epsilon"
+
+    def alternatives(self, variable: str) -> tuple[Alternative, ...]:
+        if variable == self.EPSILON_VARIABLE and variable not in self.variables:
+            return (EPSILON,)
+        return self.variables[variable]
+
+    def is_nullable(self, variable: str) -> bool:
+        """Whether the variable's language contains the empty tree."""
+        return any(isinstance(alt, Epsilon) for alt in self.alternatives(variable))
+
+    def is_epsilon_only(self, variable: str) -> bool:
+        """Whether the variable is bound to exactly ε."""
+        alternatives = self.alternatives(variable)
+        return len(alternatives) == 1 and isinstance(alternatives[0], Epsilon)
+
+    def is_empty(self, variable: str) -> bool:
+        """Whether the variable denotes the empty language ∅."""
+        return len(self.alternatives(variable)) == 0
+
+    def variable_count(self) -> int:
+        """Number of type variables (the second column of Table 1)."""
+        return len(self.variables)
+
+    def labels(self) -> set[str]:
+        """Element labels mentioned by the grammar."""
+        return {
+            alternative.label
+            for alternatives in self.variables.values()
+            for alternative in alternatives
+            if isinstance(alternative, LabelAlternative)
+        }
+
+    def reachable_variables(self, roots: Iterable[str] | None = None) -> set[str]:
+        """Variables reachable from the start (or from the given roots)."""
+        frontier = list(roots) if roots is not None else [self.start]
+        seen: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen or current == self.EPSILON_VARIABLE:
+                continue
+            seen.add(current)
+            for alternative in self.alternatives(current):
+                if isinstance(alternative, LabelAlternative):
+                    frontier.append(alternative.first)
+                    frontier.append(alternative.next)
+        return seen
+
+    def restricted_to_reachable(self) -> "BinaryTypeGrammar":
+        """A copy keeping only the variables reachable from the start."""
+        keep = self.reachable_variables()
+        return BinaryTypeGrammar(
+            variables={name: alts for name, alts in self.variables.items() if name in keep},
+            start=self.start,
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """Textual rendering in the style of Figure 13."""
+        lines = []
+        for variable, alternatives in self.variables.items():
+            rendered = " | ".join(str(alt) for alt in alternatives) or "EMPTY"
+            lines.append(f"${variable} -> {rendered}")
+        lines.append(f"Start Symbol is ${self.start}")
+        lines.append(f"{len(self.variables)} type variables.")
+        lines.append(f"{len(self.labels())} terminals.")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Conversion of a DTD (unranked regular tree grammar) to binary tree types.
+
+This reproduces the step from Figure 12 to Figure 13 of the paper: the
+children content model of every element is compiled, with a continuation
+variable describing the remaining siblings, into binary type variables whose
+alternatives are either ``ε`` or ``σ(first-child-type, next-sibling-type)``.
+
+The construction hash-conses alternative sets, so equivalent continuations
+share one variable; the resulting variable counts are in the same range as the
+ones reported in Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.xmltypes import content as cm
+from repro.xmltypes.ast import (
+    Alternative,
+    BinaryTypeGrammar,
+    EPSILON,
+    LabelAlternative,
+)
+from repro.xmltypes.dtd import DTD
+
+
+class _Builder:
+    def __init__(self, dtd: DTD):
+        self.dtd = dtd
+        self.grammar = BinaryTypeGrammar(name=dtd.name)
+        self.grammar.variables[BinaryTypeGrammar.EPSILON_VARIABLE] = (EPSILON,)
+        # One "content" variable per element, describing its children forest.
+        self.content_variable: dict[str, str] = {}
+        self.counter = 0
+        # Hash-consing of alternative sets.
+        self.by_alternatives: dict[tuple[Alternative, ...], str] = {
+            (EPSILON,): BinaryTypeGrammar.EPSILON_VARIABLE
+        }
+
+    def fresh(self, hint: str) -> str:
+        self.counter += 1
+        return f"{hint}_{self.counter}"
+
+    def define(self, alternatives: tuple[Alternative, ...], hint: str) -> str:
+        """Return a variable with exactly these alternatives (hash-consed)."""
+        key = tuple(alternatives)
+        existing = self.by_alternatives.get(key)
+        if existing is not None:
+            return existing
+        name = self.fresh(hint)
+        self.grammar.variables[name] = key
+        self.by_alternatives[key] = name
+        return name
+
+    def content_of(self, element: str) -> str:
+        """Variable describing the children forest of ``element``."""
+        existing = self.content_variable.get(element)
+        if existing is not None:
+            return existing
+        # Reserve the name first: recursive elements reference themselves.
+        name = f"C_{element}"
+        self.content_variable[element] = name
+        self.grammar.variables[name] = ()
+        if element in self.dtd.elements:
+            model = self.dtd.content_of(element)
+        else:
+            # Referenced but undeclared elements are treated as empty, which
+            # is what XML validators do modulo a warning.
+            model = cm.CEmpty()
+        alternatives = self.alternatives_of(
+            model, BinaryTypeGrammar.EPSILON_VARIABLE, hint=element
+        )
+        self.grammar.variables[name] = alternatives
+        return name
+
+    def alternatives_of(
+        self, model: cm.ContentModel, continuation: str, hint: str
+    ) -> tuple[Alternative, ...]:
+        """Alternatives of the type "a forest matching ``model`` followed by a
+        forest of type ``continuation``"."""
+        if isinstance(model, cm.CEmpty):
+            return self.grammar.alternatives(continuation)
+        if isinstance(model, cm.CSymbol):
+            child_content = self.content_of(model.name)
+            return (LabelAlternative(model.name, child_content, continuation),)
+        if isinstance(model, cm.CSeq):
+            rest = self.variable_of(model.right, continuation, hint)
+            return self.alternatives_of(model.left, rest, hint)
+        if isinstance(model, cm.CChoice):
+            left = self.alternatives_of(model.left, continuation, hint)
+            right = self.alternatives_of(model.right, continuation, hint)
+            return _merge(left, right)
+        if isinstance(model, cm.COptional):
+            inner = self.alternatives_of(model.inner, continuation, hint)
+            return _merge(inner, self.grammar.alternatives(continuation))
+        if isinstance(model, cm.CStar):
+            return self._star_alternatives(model.inner, continuation, hint)
+        if isinstance(model, cm.CPlus):
+            loop = self._star_variable(model.inner, continuation, hint)
+            return self.alternatives_of(model.inner, loop, hint)
+        raise AssertionError(f"unknown content model {model!r}")
+
+    def variable_of(self, model: cm.ContentModel, continuation: str, hint: str) -> str:
+        """A variable for ``model`` followed by ``continuation``."""
+        alternatives = self.alternatives_of(model, continuation, hint)
+        return self.define(alternatives, hint)
+
+    def _star_variable(self, inner: cm.ContentModel, continuation: str, hint: str) -> str:
+        """A variable ``X`` with ``X = inner · X  |  continuation``."""
+        name = self.fresh(hint)
+        self.grammar.variables[name] = ()
+        looped = self.alternatives_of(inner, name, hint)
+        alternatives = _merge(looped, self.grammar.alternatives(continuation))
+        self.grammar.variables[name] = alternatives
+        # Register for hash-consing only after the definition is complete; a
+        # recursive definition cannot be shared by key before it is known.
+        self.by_alternatives.setdefault(alternatives, name)
+        return name
+
+    def _star_alternatives(
+        self, inner: cm.ContentModel, continuation: str, hint: str
+    ) -> tuple[Alternative, ...]:
+        return self.grammar.alternatives(self._star_variable(inner, continuation, hint))
+
+
+def _merge(
+    left: tuple[Alternative, ...], right: tuple[Alternative, ...]
+) -> tuple[Alternative, ...]:
+    merged = list(left)
+    for alternative in right:
+        if alternative not in merged:
+            merged.append(alternative)
+    return tuple(merged)
+
+
+def binarize_dtd(dtd: DTD, root: str | None = None) -> BinaryTypeGrammar:
+    """Convert a DTD to a binary regular tree type grammar.
+
+    The start variable describes a forest made of exactly one ``root`` element
+    (the document element) and nothing else, matching the encoding of
+    Figure 13 where ``$article -> article($1, $Epsilon)``.
+    """
+    builder = _Builder(dtd)
+    root_element = root if root is not None else dtd.root
+    if root_element is None or root_element not in dtd.elements:
+        raise ValueError(f"unknown root element {root_element!r}")
+    root_content = builder.content_of(root_element)
+    start_alternatives: tuple[Alternative, ...] = (
+        LabelAlternative(root_element, root_content, BinaryTypeGrammar.EPSILON_VARIABLE),
+    )
+    start_name = f"Doc_{root_element}"
+    builder.grammar.variables[start_name] = start_alternatives
+    builder.grammar.start = start_name
+    builder.grammar.name = dtd.name
+    return builder.grammar

@@ -1,0 +1,121 @@
+"""Translation of binary regular tree types into Lµ (Section 5.2, Figure 14).
+
+The translation is::
+
+    [[∅]] = [[ε]]          = ⊥
+    [[T₁ ∪ T₂]]            = [[T₁]] ∨ [[T₂]]
+    [[σ(X₁, X₂)]]          = σ ∧ succ₁(X₁) ∧ succ₂(X₂)
+    [[let Xᵢ.Tᵢ in T]]     = µ Xᵢ = [[Tᵢ]] in [[T]]
+
+with the successor formulas handling the type frontier::
+
+    succ_α(X) = ¬⟨α⟩⊤               if X is bound to ε
+              = ¬⟨α⟩⊤ ∨ ⟨α⟩X        if X is nullable
+              = ⟨α⟩X                 otherwise
+
+Only downward modalities occur: a type formula describes the subtree allowed
+at a node and leaves its context unconstrained, which is exactly what makes it
+composable with the XPath translation in the decision problems of Section 8.
+"""
+
+from __future__ import annotations
+
+from repro.logic import syntax as sx
+from repro.xmltypes.ast import Alternative, BinaryTypeGrammar, LabelAlternative
+from repro.xmltypes.binarize import binarize_dtd
+from repro.xmltypes.dtd import DTD
+
+
+def _variable_formula_name(grammar_name: str, variable: str) -> str:
+    # Keep names readable in printed formulas and unique across grammars.
+    return f"{grammar_name}.{variable}"
+
+
+def _successor(
+    grammar: BinaryTypeGrammar, program: int, variable: str, var_name: str
+) -> sx.Formula:
+    if grammar.is_epsilon_only(variable):
+        return sx.no_dia(program)
+    if grammar.is_empty(variable):
+        # An empty continuation can never be satisfied: the whole alternative
+        # is contradictory.
+        return sx.FALSE
+    reference = sx.var(var_name)
+    if grammar.is_nullable(variable):
+        return sx.mk_or(sx.no_dia(program), sx.dia(program, reference))
+    return sx.dia(program, reference)
+
+
+def _alternative_formula(
+    grammar: BinaryTypeGrammar, alternative: Alternative, names: dict[str, str]
+) -> sx.Formula:
+    if not isinstance(alternative, LabelAlternative):
+        # The ε alternative contributes no formula: a node cannot be the empty
+        # tree.  Emptiness is expressed by the parent's succ_α(¬⟨α⟩⊤) clause.
+        return sx.FALSE
+    return sx.big_and(
+        (
+            sx.prop(alternative.label),
+            _successor(grammar, 1, alternative.first, names.get(alternative.first, alternative.first)),
+            _successor(grammar, 2, alternative.next, names.get(alternative.next, alternative.next)),
+        )
+    )
+
+
+def compile_grammar(
+    grammar: BinaryTypeGrammar, constrain_siblings: bool = True
+) -> sx.Formula:
+    """Translate a binary type grammar into a closed Lµ formula.
+
+    The resulting formula holds at a node exactly when the subtree rooted
+    there (together with its following siblings, per the binary encoding)
+    belongs to the start variable's language.
+
+    With ``constrain_siblings=False`` the siblings of the node itself are left
+    unconstrained (only its content is checked).  This corresponds to the
+    paper's remark that a type compared against the *result* of an XPath
+    expression should not fix where the root of the type is: selected nodes
+    usually sit deep inside a document and do have following siblings.
+    """
+    reachable = grammar.reachable_variables()
+    names = {
+        variable: _variable_formula_name(grammar.name, variable)
+        for variable in grammar.variables
+    }
+
+    definitions: list[tuple[str, sx.Formula]] = []
+    for variable in grammar.variables:
+        if variable not in reachable:
+            continue
+        if grammar.is_epsilon_only(variable) or grammar.is_empty(variable):
+            # Never referenced through ⟨α⟩X (succ_α short-circuits them).
+            continue
+        body = sx.big_or(
+            _alternative_formula(grammar, alternative, names)
+            for alternative in grammar.alternatives(variable)
+        )
+        definitions.append((names[variable], body))
+
+    def start_alternative(alternative: Alternative) -> sx.Formula:
+        if constrain_siblings or not isinstance(alternative, LabelAlternative):
+            return _alternative_formula(grammar, alternative, names)
+        return sx.mk_and(
+            sx.prop(alternative.label),
+            _successor(grammar, 1, alternative.first, names.get(alternative.first, alternative.first)),
+        )
+
+    start_formula = sx.big_or(
+        start_alternative(alternative)
+        for alternative in grammar.alternatives(grammar.start)
+    )
+    if not definitions:
+        return start_formula
+    return sx.mu(tuple(definitions), start_formula)
+
+
+def compile_dtd(
+    dtd: DTD, root: str | None = None, constrain_siblings: bool = True
+) -> sx.Formula:
+    """Translate a DTD (with designated root element) into a closed Lµ formula."""
+    grammar = binarize_dtd(dtd, root=root)
+    return compile_grammar(grammar, constrain_siblings=constrain_siblings)

@@ -1,0 +1,180 @@
+"""Element content models: regular expressions over element names.
+
+A DTD constrains the children sequence of each element with a regular
+expression; text content (``#PCDATA``) carries no structural information in
+the paper's data model and is treated as the empty sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class CEmpty:
+    """The empty sequence ε (also the translation of ``EMPTY`` and ``#PCDATA``)."""
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class CSymbol:
+    """One occurrence of a child element."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CSeq:
+    """Sequential composition ``left, right``."""
+
+    left: "ContentModel"
+    right: "ContentModel"
+
+    def __str__(self) -> str:
+        return f"({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class CChoice:
+    """Choice ``left | right``."""
+
+    left: "ContentModel"
+    right: "ContentModel"
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class COptional:
+    """Zero or one occurrence ``inner?``."""
+
+    inner: "ContentModel"
+
+    def __str__(self) -> str:
+        return f"{self.inner}?"
+
+
+@dataclass(frozen=True)
+class CStar:
+    """Zero or more occurrences ``inner*``."""
+
+    inner: "ContentModel"
+
+    def __str__(self) -> str:
+        return f"{self.inner}*"
+
+
+@dataclass(frozen=True)
+class CPlus:
+    """One or more occurrences ``inner+``."""
+
+    inner: "ContentModel"
+
+    def __str__(self) -> str:
+        return f"{self.inner}+"
+
+
+ContentModel = Union[CEmpty, CSymbol, CSeq, CChoice, COptional, CStar, CPlus]
+
+
+def sequence(parts: list[ContentModel]) -> ContentModel:
+    """Right-nested sequence of ``parts`` (ε when empty)."""
+    if not parts:
+        return CEmpty()
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = CSeq(part, result)
+    return result
+
+
+def choice(parts: list[ContentModel]) -> ContentModel:
+    """Right-nested choice of ``parts`` (ε when empty)."""
+    if not parts:
+        return CEmpty()
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = CChoice(part, result)
+    return result
+
+
+def nullable(model: ContentModel) -> bool:
+    """Whether the empty children sequence matches the content model."""
+    if isinstance(model, CEmpty):
+        return True
+    if isinstance(model, CSymbol):
+        return False
+    if isinstance(model, CSeq):
+        return nullable(model.left) and nullable(model.right)
+    if isinstance(model, CChoice):
+        return nullable(model.left) or nullable(model.right)
+    if isinstance(model, (COptional, CStar)):
+        return True
+    if isinstance(model, CPlus):
+        return nullable(model.inner)
+    raise AssertionError(f"unknown content model {model!r}")
+
+
+def symbols(model: ContentModel) -> set[str]:
+    """Element names mentioned by the content model."""
+    if isinstance(model, CSymbol):
+        return {model.name}
+    if isinstance(model, (CSeq, CChoice)):
+        return symbols(model.left) | symbols(model.right)
+    if isinstance(model, (COptional, CStar, CPlus)):
+        return symbols(model.inner)
+    return set()
+
+
+def matches(model: ContentModel, names: list[str]) -> bool:
+    """Whether a sequence of child element names matches the content model.
+
+    Implemented with Brzozowski derivatives; performance is more than enough
+    for validation of the documents used in tests and benchmarks.
+    """
+    current = model
+    for name in names:
+        current = _derivative(current, name)
+        if current is None:
+            return False
+    return nullable(current)
+
+
+def _derivative(model: ContentModel, name: str) -> ContentModel | None:
+    """Brzozowski derivative of the content model by one element name."""
+    if isinstance(model, CEmpty):
+        return None
+    if isinstance(model, CSymbol):
+        return CEmpty() if model.name == name else None
+    if isinstance(model, CSeq):
+        left = _derivative(model.left, name)
+        first = CSeq(left, model.right) if left is not None else None
+        if nullable(model.left):
+            second = _derivative(model.right, name)
+            return _union(first, second)
+        return first
+    if isinstance(model, CChoice):
+        return _union(_derivative(model.left, name), _derivative(model.right, name))
+    if isinstance(model, COptional):
+        return _derivative(model.inner, name)
+    if isinstance(model, CStar):
+        inner = _derivative(model.inner, name)
+        return CSeq(inner, model) if inner is not None else None
+    if isinstance(model, CPlus):
+        inner = _derivative(model.inner, name)
+        return CSeq(inner, CStar(model.inner)) if inner is not None else None
+    raise AssertionError(f"unknown content model {model!r}")
+
+
+def _union(left: ContentModel | None, right: ContentModel | None) -> ContentModel | None:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return CChoice(left, right)

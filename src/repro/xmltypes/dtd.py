@@ -1,0 +1,209 @@
+"""A DTD parser covering the subset relevant to the paper's data model.
+
+Supported declarations:
+
+* ``<!ELEMENT name content-spec>`` with content specifications ``EMPTY``,
+  ``ANY``, mixed content ``(#PCDATA | a | b)*`` and children content models
+  built from sequences ``,``, choices ``|`` and the ``?``, ``*``, ``+``
+  occurrence operators;
+* ``<!ENTITY % name "replacement">`` parameter entities and their references
+  ``%name;`` (the XHTML DTD makes heavy use of them);
+* ``<!ATTLIST ...>`` declarations and comments are recognised and ignored —
+  attributes and data values are outside the paper's XPath fragment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.errors import ParseError
+from repro.xmltypes import content as cm
+
+
+@dataclass(frozen=True)
+class ElementDeclaration:
+    """One ``<!ELEMENT ...>`` declaration."""
+
+    name: str
+    content: cm.ContentModel
+
+
+@dataclass
+class DTD:
+    """A parsed DTD: element declarations plus a designated root element."""
+
+    elements: dict[str, ElementDeclaration] = field(default_factory=dict)
+    root: str | None = None
+    name: str = "dtd"
+
+    def element_names(self) -> tuple[str, ...]:
+        """Declared element names, in declaration order."""
+        return tuple(self.elements)
+
+    def content_of(self, name: str) -> cm.ContentModel:
+        return self.elements[name].content
+
+    def with_root(self, root: str) -> "DTD":
+        """A copy of the DTD with a different designated root element."""
+        if root not in self.elements:
+            raise ValueError(f"element {root!r} is not declared by this DTD")
+        return DTD(elements=dict(self.elements), root=root, name=self.name)
+
+    def symbol_count(self) -> int:
+        """Number of element symbols (the "Symbols" column of Table 1)."""
+        return len(self.elements)
+
+
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_ENTITY_RE = re.compile(r'<!ENTITY\s+%\s+([\w.\-]+)\s+"([^"]*)"\s*>')
+_ATTLIST_RE = re.compile(r"<!ATTLIST\b.*?>", re.DOTALL)
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w.\-]+)\s+(.*?)>", re.DOTALL)
+_PE_REF_RE = re.compile(r"%([\w.\-]+);")
+
+
+def parse_dtd(text: str, root: str | None = None, name: str = "dtd") -> DTD:
+    """Parse DTD text into a :class:`DTD`.
+
+    ``root`` designates the document element; when omitted it defaults to the
+    first declared element.
+    """
+    without_comments = _COMMENT_RE.sub(" ", text)
+
+    entities: dict[str, str] = {}
+    for match in _ENTITY_RE.finditer(without_comments):
+        entities[match.group(1)] = match.group(2)
+
+    def expand(value: str, depth: int = 0) -> str:
+        if depth > 50:
+            raise ParseError("parameter entities nested too deeply (cycle?)")
+        result = _PE_REF_RE.sub(
+            lambda m: expand(entities.get(m.group(1), ""), depth + 1), value
+        )
+        return result
+
+    stripped = _ENTITY_RE.sub(" ", without_comments)
+    stripped = _ATTLIST_RE.sub(" ", stripped)
+
+    dtd = DTD(name=name)
+    for match in _ELEMENT_RE.finditer(stripped):
+        element_name = match.group(1)
+        spec = expand(match.group(2)).strip()
+        model = _parse_content_spec(spec, element_name)
+        dtd.elements[element_name] = ElementDeclaration(element_name, model)
+    if not dtd.elements:
+        raise ParseError("no <!ELEMENT> declaration found in DTD")
+    dtd.root = root if root is not None else next(iter(dtd.elements))
+    if dtd.root not in dtd.elements:
+        raise ParseError(f"designated root element {dtd.root!r} is not declared")
+
+    # ANY content models need the full element list; resolve them now.
+    any_elements = [
+        name_ for name_, declaration in dtd.elements.items()
+        if isinstance(declaration.content, _AnyPlaceholder)
+    ]
+    if any_elements:
+        every = cm.CStar(cm.choice([cm.CSymbol(n) for n in dtd.elements]))
+        for name_ in any_elements:
+            dtd.elements[name_] = ElementDeclaration(name_, every)
+    return dtd
+
+
+@dataclass(frozen=True)
+class _AnyPlaceholder(cm.CEmpty):
+    """Marker for ``ANY`` content, resolved once all elements are known."""
+
+
+def _parse_content_spec(spec: str, element_name: str) -> cm.ContentModel:
+    spec = spec.strip()
+    if spec == "EMPTY":
+        return cm.CEmpty()
+    if spec == "ANY":
+        return _AnyPlaceholder()
+    parser = _ContentParser(spec, element_name)
+    model = parser.parse()
+    return model
+
+
+class _ContentParser:
+    """Recursive-descent parser for children and mixed content models."""
+
+    def __init__(self, text: str, element_name: str):
+        self.text = text
+        self.element_name = element_name
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(
+            f"in content model of <!ELEMENT {self.element_name}>: {message}",
+            self.pos,
+            self.text,
+        )
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def at(self, string: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(string, self.pos)
+
+    def accept(self, string: str) -> bool:
+        if self.at(string):
+            self.pos += len(string)
+            return True
+        return False
+
+    def expect(self, string: str) -> None:
+        if not self.accept(string):
+            raise self.error(f"expected {string!r}")
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        match = re.match(r"[\w.\-]+", self.text[self.pos:])
+        if match is None:
+            raise self.error("expected an element name")
+        self.pos += match.end()
+        return match.group(0)
+
+    def parse(self) -> cm.ContentModel:
+        model = self._parse_particle()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing characters in content model")
+        return model
+
+    def _parse_particle(self) -> cm.ContentModel:
+        self.skip_ws()
+        if self.accept("("):
+            inner = self._parse_group_body()
+            self.expect(")")
+            return self._parse_occurrence(inner)
+        if self.accept("#PCDATA"):
+            return cm.CEmpty()
+        name = self.read_name()
+        return self._parse_occurrence(cm.CSymbol(name))
+
+    def _parse_group_body(self) -> cm.ContentModel:
+        first = self._parse_particle()
+        self.skip_ws()
+        if self.at("|"):
+            parts = [first]
+            while self.accept("|"):
+                parts.append(self._parse_particle())
+            return cm.choice(parts)
+        if self.at(","):
+            parts = [first]
+            while self.accept(","):
+                parts.append(self._parse_particle())
+            return cm.sequence(parts)
+        return first
+
+    def _parse_occurrence(self, inner: cm.ContentModel) -> cm.ContentModel:
+        if self.accept("?"):
+            return cm.COptional(inner)
+        if self.accept("*"):
+            return cm.CStar(inner)
+        if self.accept("+"):
+            return cm.CPlus(inner)
+        return inner

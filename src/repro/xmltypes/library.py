@@ -1,0 +1,65 @@
+"""Built-in XML types used by the paper's evaluation (Section 8, Table 1).
+
+The evaluation of the paper uses two real-world DTDs — SMIL 1.0 (19 element
+symbols) and XHTML 1.0 Strict (77 element symbols) — plus the Wikipedia DTD
+fragment of Figure 12 used to illustrate the type translation.  The DTD texts
+shipped with this package are hand-written reproductions of the element
+structure of those DTDs (see DESIGN.md, "Substitutions"); a reduced XHTML
+"core" subset is also provided for fast regression runs.
+"""
+
+from __future__ import annotations
+
+import functools
+from importlib import resources
+
+from repro.xmltypes.dtd import DTD, parse_dtd
+
+
+def _load(filename: str, root: str, name: str) -> DTD:
+    data = resources.files("repro.xmltypes.data").joinpath(filename).read_text()
+    return parse_dtd(data, root=root, name=name)
+
+
+@functools.lru_cache(maxsize=None)
+def smil_dtd() -> DTD:
+    """SMIL 1.0 (19 element symbols), rooted at ``smil``."""
+    return _load("smil10.dtd", root="smil", name="smil")
+
+
+@functools.lru_cache(maxsize=None)
+def xhtml_strict_dtd() -> DTD:
+    """XHTML 1.0 Strict (77 element symbols), rooted at ``html``."""
+    return _load("xhtml1_strict.dtd", root="html", name="xhtml")
+
+
+@functools.lru_cache(maxsize=None)
+def xhtml_core_dtd() -> DTD:
+    """A 21-element structural subset of XHTML 1.0 Strict, rooted at ``html``."""
+    return _load("xhtml1_core.dtd", root="html", name="xhtmlcore")
+
+
+@functools.lru_cache(maxsize=None)
+def wikipedia_dtd() -> DTD:
+    """The Wikipedia DTD fragment of Figure 12, rooted at ``article``."""
+    return _load("wikipedia.dtd", root="article", name="wikipedia")
+
+
+_BUILTINS = {
+    "smil": smil_dtd,
+    "xhtml": xhtml_strict_dtd,
+    "xhtml-strict": xhtml_strict_dtd,
+    "xhtml-core": xhtml_core_dtd,
+    "wikipedia": wikipedia_dtd,
+}
+
+
+def builtin_dtd(name: str) -> DTD:
+    """Look up a built-in DTD by name (``smil``, ``xhtml``, ``xhtml-core``,
+    ``wikipedia``)."""
+    try:
+        return _BUILTINS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown built-in DTD {name!r}; available: {sorted(set(_BUILTINS))}"
+        ) from None

@@ -1,0 +1,74 @@
+"""Direct membership checking (validation) against binary tree types and DTDs.
+
+This module is independent of the logic and of the solver: it decides whether
+a concrete document belongs to a regular tree language by structural
+recursion.  The test-suite uses it as an oracle for the Lµ translation of
+types (a document validates against a DTD exactly when its root satisfies the
+translated formula) and the benchmarks use it to sanity-check reconstructed
+counterexample models.
+"""
+
+from __future__ import annotations
+
+from repro.trees.binary import BinTree, to_binary
+from repro.trees.unranked import Tree
+from repro.xmltypes import content as cm
+from repro.xmltypes.ast import BinaryTypeGrammar, LabelAlternative
+from repro.xmltypes.dtd import DTD
+
+
+def grammar_accepts(grammar: BinaryTypeGrammar, document: Tree) -> bool:
+    """Whether the document (an unranked tree) belongs to the grammar's language."""
+    binary = to_binary(document.unmark_all())
+    cache: dict[tuple[int, str], bool] = {}
+
+    def accepts(node: BinTree | None, variable: str) -> bool:
+        if node is None:
+            return grammar.is_nullable(variable)
+        key = (id(node), variable)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        # Guard against pathological cyclic queries: assume False while
+        # computing (regular tree languages over finite trees are well-founded
+        # in the first-child direction, so this only affects sibling cycles
+        # that cannot accept a finite tree anyway).
+        cache[key] = False
+        result = False
+        for alternative in grammar.alternatives(variable):
+            if not isinstance(alternative, LabelAlternative):
+                continue
+            if alternative.label != node.label:
+                continue
+            if accepts(node.left, alternative.first) and accepts(
+                node.right, alternative.next
+            ):
+                result = True
+                break
+        cache[key] = result
+        return result
+
+    return accepts(binary, grammar.start)
+
+
+def dtd_accepts(dtd: DTD, document: Tree, root: str | None = None) -> bool:
+    """Whether the document validates against the DTD.
+
+    Validation checks that the document element is the designated root and
+    that every element's children sequence matches its declared content model.
+    Elements that are referenced but not declared must be empty.
+    """
+    expected_root = root if root is not None else dtd.root
+    if document.label != expected_root:
+        return False
+
+    def valid(node: Tree) -> bool:
+        declaration = dtd.elements.get(node.label)
+        if declaration is None:
+            return not node.children
+        child_names = [child.label for child in node.children]
+        if not cm.matches(declaration.content, child_names):
+            return False
+        return all(valid(child) for child in node.children)
+
+    return valid(document)

@@ -1,0 +1,62 @@
+"""The XPath fragment of the paper (Section 5, Figures 4-11).
+
+The fragment covers the major navigational features of XPath 1.0 — all
+thirteen structural axes, qualifiers (predicates) with boolean connectives,
+path composition, union and intersection — and leaves out counting and
+comparisons of data values, whose addition makes the decision problems
+undecidable.
+
+* :mod:`repro.xpath.ast`       — abstract syntax (Figure 4),
+* :mod:`repro.xpath.parser`    — a parser for standard XPath surface syntax,
+  including the abbreviations ``//``, ``*``, ``.`` and leading ``/``,
+* :mod:`repro.xpath.semantics` — denotational semantics as functions between
+  sets of focused trees (Figures 5 and 6),
+* :mod:`repro.xpath.compile`   — the linear translation to Lµ (Figures 7, 8
+  and 10).
+"""
+
+from repro.xpath.ast import (
+    Axis,
+    Expr,
+    AbsolutePath,
+    RelativePath,
+    ExprUnion,
+    ExprIntersection,
+    Path,
+    PathCompose,
+    PathUnion,
+    QualifiedPath,
+    Step,
+    Qualifier,
+    QualifierAnd,
+    QualifierOr,
+    QualifierNot,
+    QualifierPath,
+)
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import evaluate_xpath, select
+from repro.xpath.compile import compile_xpath, translate_expression
+
+__all__ = [
+    "Axis",
+    "Expr",
+    "AbsolutePath",
+    "RelativePath",
+    "ExprUnion",
+    "ExprIntersection",
+    "Path",
+    "PathCompose",
+    "PathUnion",
+    "QualifiedPath",
+    "Step",
+    "Qualifier",
+    "QualifierAnd",
+    "QualifierOr",
+    "QualifierNot",
+    "QualifierPath",
+    "parse_xpath",
+    "evaluate_xpath",
+    "select",
+    "compile_xpath",
+    "translate_expression",
+]

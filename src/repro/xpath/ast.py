@@ -1,0 +1,197 @@
+"""Abstract syntax of the XPath fragment (Figure 4 of the paper).
+
+The grammar is::
+
+    e ::= /p | p | e₁ ∪ e₂ | e₁ ∩ e₂          expressions
+    p ::= p₁/p₂ | p[q] | a::σ | a::* | (p₁ | p₂)   paths
+    q ::= q₁ and q₂ | q₁ or q₂ | not q | p     qualifiers
+    a ::= child | self | parent | descendant | desc-or-self | ancestor
+        | anc-or-self | foll-sibling | prec-sibling | following | preceding
+
+The parenthesised path union ``(p₁ | p₂)`` is a small extension of Figure 4
+needed to express the paper's own benchmark query e10, ``html/(head | body)``;
+it translates like an expression union applied mid-path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class Axis(enum.Enum):
+    """The navigation axes of the fragment."""
+
+    CHILD = "child"
+    SELF = "self"
+    PARENT = "parent"
+    DESCENDANT = "descendant"
+    DESC_OR_SELF = "desc-or-self"
+    ANCESTOR = "ancestor"
+    ANC_OR_SELF = "anc-or-self"
+    FOLL_SIBLING = "foll-sibling"
+    PREC_SIBLING = "prec-sibling"
+    FOLLOWING = "following"
+    PRECEDING = "preceding"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The symmetric axis used by the "filtering" translation of qualifiers
+#: (Figure 10): ``symmetric(child) = parent`` and so on.
+SYMMETRIC_AXIS: dict[Axis, Axis] = {
+    Axis.CHILD: Axis.PARENT,
+    Axis.PARENT: Axis.CHILD,
+    Axis.SELF: Axis.SELF,
+    Axis.DESCENDANT: Axis.ANCESTOR,
+    Axis.ANCESTOR: Axis.DESCENDANT,
+    Axis.DESC_OR_SELF: Axis.ANC_OR_SELF,
+    Axis.ANC_OR_SELF: Axis.DESC_OR_SELF,
+    Axis.FOLL_SIBLING: Axis.PREC_SIBLING,
+    Axis.PREC_SIBLING: Axis.FOLL_SIBLING,
+    Axis.FOLLOWING: Axis.PRECEDING,
+    Axis.PRECEDING: Axis.FOLLOWING,
+}
+
+
+# -- Paths -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step:
+    """A navigation step ``a::σ`` or ``a::*`` (``label`` is ``None`` for ``*``)."""
+
+    axis: Axis
+    label: str | None = None
+
+    def __str__(self) -> str:
+        test = self.label if self.label is not None else "*"
+        return f"{self.axis}::{test}"
+
+
+@dataclass(frozen=True)
+class PathCompose:
+    """Path composition ``p₁/p₂``."""
+
+    first: "Path"
+    second: "Path"
+
+    def __str__(self) -> str:
+        return f"{self.first}/{self.second}"
+
+
+@dataclass(frozen=True)
+class QualifiedPath:
+    """A qualified path ``p[q]``."""
+
+    path: "Path"
+    qualifier: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"{self.path}[{self.qualifier}]"
+
+
+@dataclass(frozen=True)
+class PathUnion:
+    """A parenthesised union of paths ``(p₁ | p₂)`` used inside a larger path."""
+
+    left: "Path"
+    right: "Path"
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+Path = Union[Step, PathCompose, QualifiedPath, PathUnion]
+
+
+# -- Qualifiers ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QualifierAnd:
+    left: "Qualifier"
+    right: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"{self.left} and {self.right}"
+
+
+@dataclass(frozen=True)
+class QualifierOr:
+    left: "Qualifier"
+    right: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"{self.left} or {self.right}"
+
+
+@dataclass(frozen=True)
+class QualifierNot:
+    inner: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"not({self.inner})"
+
+
+@dataclass(frozen=True)
+class QualifierPath:
+    """A qualifier that tests the existence of a path."""
+
+    path: Path
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+Qualifier = Union[QualifierAnd, QualifierOr, QualifierNot, QualifierPath]
+
+
+# -- Expressions ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbsolutePath:
+    """An absolute expression ``/p``: navigation starts at the document root."""
+
+    path: Path
+
+    def __str__(self) -> str:
+        return f"/{self.path}"
+
+
+@dataclass(frozen=True)
+class RelativePath:
+    """A relative expression ``p``: navigation starts at the marked context node."""
+
+    path: Path
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class ExprUnion:
+    """Union of the node sets selected by two expressions."""
+
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.left} | {self.right}"
+
+
+@dataclass(frozen=True)
+class ExprIntersection:
+    """Intersection of the node sets selected by two expressions."""
+
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.left} intersect {self.right}"
+
+
+Expr = Union[AbsolutePath, RelativePath, ExprUnion, ExprIntersection]

@@ -1,0 +1,182 @@
+"""Translation of XPath expressions into the logic Lµ (Figures 7, 8 and 10).
+
+Two translation modes cooperate, exactly as in the paper:
+
+* the *navigational* mode ``E→ / P→ / A→`` produces a formula that holds at
+  the nodes **selected** by the expression; it navigates backwards (with the
+  converse modalities) from the selected node towards the start mark;
+* the *filtering* mode ``Q← / P← / A←`` is used inside qualifiers: it states
+  the existence of a path without moving to its result, using the symmetric
+  axes.
+
+The translation of a relative expression anchors the navigation at the start
+mark ``s`` conjoined with the context formula ``χ``; an absolute expression
+anchors it at the root of the document while requiring the marked context node
+to exist below.  Proposition 5.1 states (and the test-suite checks) that the
+translation agrees with the denotational semantics, is cycle-free, and has
+size linear in the size of the expression and of ``χ``.
+"""
+
+from __future__ import annotations
+
+from repro.logic import syntax as sx
+from repro.logic.negation import negate
+from repro.xpath import ast as xp
+from repro.xpath.parser import parse_xpath
+
+# -- axes: navigational mode A→ (Figure 7) --------------------------------------
+
+
+def translate_axis(axis: xp.Axis, context: sx.Formula) -> sx.Formula:
+    """``A→[[axis]](context)``: holds at nodes reachable through ``axis`` from
+    a node satisfying ``context``."""
+    if axis is xp.Axis.SELF:
+        return context
+    if axis is xp.Axis.CHILD:
+        return sx.mu1(lambda z: sx.dia(-1, context) | sx.dia(-2, z))
+    if axis is xp.Axis.FOLL_SIBLING:
+        return sx.mu1(lambda z: sx.dia(-2, context) | sx.dia(-2, z))
+    if axis is xp.Axis.PREC_SIBLING:
+        return sx.mu1(lambda z: sx.dia(2, context) | sx.dia(2, z))
+    if axis is xp.Axis.PARENT:
+        return sx.dia(1, sx.mu1(lambda z: context | sx.dia(2, z)))
+    if axis is xp.Axis.DESCENDANT:
+        return sx.mu1(lambda z: sx.dia(-1, context | z) | sx.dia(-2, z))
+    if axis is xp.Axis.DESC_OR_SELF:
+        return sx.mu1(
+            lambda z: context | sx.mu1(lambda y: sx.dia(-1, y | z) | sx.dia(-2, y))
+        )
+    if axis is xp.Axis.ANCESTOR:
+        return sx.dia(1, sx.mu1(lambda z: context | sx.dia(1, z) | sx.dia(2, z)))
+    if axis is xp.Axis.ANC_OR_SELF:
+        return sx.mu1(lambda z: context | sx.dia(1, sx.mu1(lambda y: z | sx.dia(2, y))))
+    if axis is xp.Axis.FOLLOWING:
+        inner = translate_axis(
+            xp.Axis.FOLL_SIBLING, translate_axis(xp.Axis.ANC_OR_SELF, context)
+        )
+        return translate_axis(xp.Axis.DESC_OR_SELF, inner)
+    if axis is xp.Axis.PRECEDING:
+        inner = translate_axis(
+            xp.Axis.PREC_SIBLING, translate_axis(xp.Axis.ANC_OR_SELF, context)
+        )
+        return translate_axis(xp.Axis.DESC_OR_SELF, inner)
+    raise AssertionError(f"unknown axis {axis!r}")
+
+
+def translate_axis_filter(axis: xp.Axis, context: sx.Formula) -> sx.Formula:
+    """``A←[[axis]](context) = A→[[symmetric(axis)]](context)`` (Figure 10)."""
+    return translate_axis(xp.SYMMETRIC_AXIS[axis], context)
+
+
+# -- paths: navigational mode P→ (Figure 8) ---------------------------------------
+
+
+def translate_path(path: xp.Path, context: sx.Formula) -> sx.Formula:
+    """``P→[[path]](context)``: holds at the target nodes of ``path``."""
+    if isinstance(path, xp.PathCompose):
+        return translate_path(path.second, translate_path(path.first, context))
+    if isinstance(path, xp.QualifiedPath):
+        return sx.mk_and(
+            translate_path(path.path, context),
+            translate_qualifier(path.qualifier, sx.TRUE),
+        )
+    if isinstance(path, xp.PathUnion):
+        return sx.mk_or(
+            translate_path(path.left, context), translate_path(path.right, context)
+        )
+    if isinstance(path, xp.Step):
+        axis_formula = translate_axis(path.axis, context)
+        if path.label is None:
+            return axis_formula
+        return sx.mk_and(sx.prop(path.label), axis_formula)
+    raise AssertionError(f"unknown path node {path!r}")
+
+
+# -- qualifiers: filtering mode Q← / P← (Figure 10) ---------------------------------
+
+
+def translate_qualifier(qualifier: xp.Qualifier, context: sx.Formula) -> sx.Formula:
+    """``Q←[[qualifier]](context)``: holds at nodes from which ``qualifier`` is true."""
+    if isinstance(qualifier, xp.QualifierAnd):
+        return sx.mk_and(
+            translate_qualifier(qualifier.left, context),
+            translate_qualifier(qualifier.right, context),
+        )
+    if isinstance(qualifier, xp.QualifierOr):
+        return sx.mk_or(
+            translate_qualifier(qualifier.left, context),
+            translate_qualifier(qualifier.right, context),
+        )
+    if isinstance(qualifier, xp.QualifierNot):
+        return negate(translate_qualifier(qualifier.inner, context))
+    if isinstance(qualifier, xp.QualifierPath):
+        return translate_path_filter(qualifier.path, context)
+    raise AssertionError(f"unknown qualifier node {qualifier!r}")
+
+
+def translate_path_filter(path: xp.Path, context: sx.Formula) -> sx.Formula:
+    """``P←[[path]](context)``: states the existence of ``path`` without moving."""
+    if isinstance(path, xp.PathCompose):
+        return translate_path_filter(path.first, translate_path_filter(path.second, context))
+    if isinstance(path, xp.QualifiedPath):
+        inner = sx.mk_and(context, translate_qualifier(path.qualifier, sx.TRUE))
+        return translate_path_filter(path.path, inner)
+    if isinstance(path, xp.PathUnion):
+        return sx.mk_or(
+            translate_path_filter(path.left, context),
+            translate_path_filter(path.right, context),
+        )
+    if isinstance(path, xp.Step):
+        if path.label is None:
+            return translate_axis_filter(path.axis, context)
+        return translate_axis_filter(path.axis, sx.mk_and(context, sx.prop(path.label)))
+    raise AssertionError(f"unknown path node {path!r}")
+
+
+# -- expressions: E→ (Figure 8, top) ---------------------------------------------------
+
+
+def _root_context(context: sx.Formula) -> sx.Formula:
+    """Context formula for absolute paths: "I am at the top level and the
+    marked context node (satisfying ``context``) occurs in the document"."""
+    at_top_level = sx.mu1(lambda z: sx.no_dia(-1) | sx.dia(-2, z))
+    mark_below = sx.mu1(
+        lambda y: sx.mk_and(context, sx.START) | sx.dia(1, y) | sx.dia(2, y)
+    )
+    return sx.mk_and(at_top_level, mark_below)
+
+
+def translate_expression(expr: xp.Expr, context: sx.Formula) -> sx.Formula:
+    """``E→[[expr]](context)``: holds exactly at the nodes selected by ``expr``.
+
+    ``context`` is the formula describing the admissible start (marked) nodes;
+    passing the Lµ translation of a regular tree type constrains evaluation to
+    documents of that type (Section 8).
+    """
+    if isinstance(expr, xp.AbsolutePath):
+        return translate_path(expr.path, _root_context(context))
+    if isinstance(expr, xp.RelativePath):
+        return translate_path(expr.path, sx.mk_and(context, sx.START))
+    if isinstance(expr, xp.ExprUnion):
+        return sx.mk_or(
+            translate_expression(expr.left, context),
+            translate_expression(expr.right, context),
+        )
+    if isinstance(expr, xp.ExprIntersection):
+        return sx.mk_and(
+            translate_expression(expr.left, context),
+            translate_expression(expr.right, context),
+        )
+    raise AssertionError(f"unknown expression node {expr!r}")
+
+
+def compile_xpath(expr: xp.Expr | str, context: sx.Formula = sx.TRUE) -> sx.Formula:
+    """Translate an XPath expression (or its surface syntax) to Lµ.
+
+    This is the user-facing entry point: ``compile_xpath("child::a[b]")``
+    returns the formula satisfied exactly by the nodes selected by the
+    expression when evaluation starts at a node satisfying ``context``.
+    """
+    if isinstance(expr, str):
+        expr = parse_xpath(expr)
+    return translate_expression(expr, context)

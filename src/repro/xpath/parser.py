@@ -1,0 +1,293 @@
+"""Parser for the surface syntax of the XPath fragment.
+
+Accepted syntax, following the XPath 1.0 recommendation restricted to the
+fragment of Figure 4:
+
+* full axis names with ``::`` (``child::a``, ``preceding-sibling::b``, ...);
+  the shorter forms used in the paper (``foll-sibling``, ``prec-sibling``,
+  ``desc-or-self``, ``anc-or-self``) are accepted as well;
+* the abbreviations ``name`` (for ``child::name``), ``*`` (for ``child::*``),
+  ``.`` (for ``self::*``), ``..`` (for ``parent::*``) and ``//`` (for
+  ``/descendant-or-self::*/``);
+* a leading ``/`` for absolute paths and a leading ``.//`` or ``//`` for
+  relative/absolute descendant navigation;
+* qualifiers between square brackets combined with ``and``, ``or`` and
+  ``not(...)``;
+* expression union ``e1 | e2`` and intersection ``e1 intersect e2`` (the
+  paper writes ``∩``, which is also accepted), plus parenthesised path unions
+  such as ``html/(head | body)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import ParseError
+from repro.xpath import ast as xp
+
+_AXIS_NAMES: dict[str, xp.Axis] = {
+    "child": xp.Axis.CHILD,
+    "self": xp.Axis.SELF,
+    "parent": xp.Axis.PARENT,
+    "descendant": xp.Axis.DESCENDANT,
+    "descendant-or-self": xp.Axis.DESC_OR_SELF,
+    "desc-or-self": xp.Axis.DESC_OR_SELF,
+    "ancestor": xp.Axis.ANCESTOR,
+    "ancestor-or-self": xp.Axis.ANC_OR_SELF,
+    "anc-or-self": xp.Axis.ANC_OR_SELF,
+    "following-sibling": xp.Axis.FOLL_SIBLING,
+    "foll-sibling": xp.Axis.FOLL_SIBLING,
+    "preceding-sibling": xp.Axis.PREC_SIBLING,
+    "prec-sibling": xp.Axis.PREC_SIBLING,
+    "following": xp.Axis.FOLLOWING,
+    "preceding": xp.Axis.PRECEDING,
+}
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)"
+    r"|(?P<symbol>::|//|/|\[|\]|\(|\)|\||∩|&|\*|\.\.|\.))"
+)
+
+_STAR_STEP = xp.Step(xp.Axis.DESC_OR_SELF, None)
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            if text[pos:].strip() == "":
+                break
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise ParseError("unexpected character in XPath expression", pos, text)
+            for group in ("name", "symbol"):
+                value = match.group(group)
+                if value is not None:
+                    self.items.append((group, value, match.start(group)))
+                    break
+            pos = match.end()
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> tuple[str, str, int] | None:
+        position = self.index + offset
+        if position < len(self.items):
+            return self.items[position]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of XPath expression", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self.index += 1
+            return True
+        return False
+
+    def accept_name(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "name" and token[1] == value:
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, value: str) -> None:
+        token = self.peek()
+        if token is None or token[1] != value:
+            position = token[2] if token is not None else len(self.text)
+            raise ParseError(f"expected {value!r}", position, self.text)
+        self.index += 1
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse_xpath(text: str) -> xp.Expr:
+    """Parse an XPath expression of the supported fragment."""
+    tokens = _Tokens(text)
+    expr = _parse_expr(tokens)
+    if not tokens.at_end():
+        raise ParseError("trailing input after XPath expression", tokens.peek()[2], text)
+    return expr
+
+
+# -- expressions: union / intersection -----------------------------------------
+
+
+def _parse_expr(tokens: _Tokens) -> xp.Expr:
+    left = _parse_intersection(tokens)
+    while True:
+        token = tokens.peek()
+        if token is not None and token[1] == "|":
+            tokens.next()
+            right = _parse_intersection(tokens)
+            left = xp.ExprUnion(left, right)
+        else:
+            return left
+
+
+def _parse_intersection(tokens: _Tokens) -> xp.Expr:
+    left = _parse_single_expr(tokens)
+    while True:
+        token = tokens.peek()
+        if token is not None and (token[1] in ("∩", "&") or token[1] == "intersect"):
+            tokens.next()
+            right = _parse_single_expr(tokens)
+            left = xp.ExprIntersection(left, right)
+        else:
+            return left
+
+
+def _parse_single_expr(tokens: _Tokens) -> xp.Expr:
+    token = tokens.peek()
+    if token is None:
+        raise ParseError("empty XPath expression", 0, tokens.text)
+    if token[1] == "//":
+        tokens.next()
+        rest = _parse_relative_path(tokens)
+        return xp.AbsolutePath(xp.PathCompose(_STAR_STEP, rest))
+    if token[1] == "/":
+        tokens.next()
+        return xp.AbsolutePath(_parse_relative_path(tokens))
+    return xp.RelativePath(_parse_relative_path(tokens))
+
+
+# -- paths -----------------------------------------------------------------------
+
+
+def _parse_relative_path(tokens: _Tokens) -> xp.Path:
+    path = _parse_step(tokens)
+    while True:
+        token = tokens.peek()
+        if token is None:
+            return path
+        if token[1] == "//":
+            tokens.next()
+            path = xp.PathCompose(xp.PathCompose(path, _STAR_STEP), _parse_step(tokens))
+        elif token[1] == "/":
+            tokens.next()
+            path = xp.PathCompose(path, _parse_step(tokens))
+        else:
+            return path
+
+
+def _parse_step(tokens: _Tokens) -> xp.Path:
+    token = tokens.peek()
+    if token is None:
+        raise ParseError("expected an XPath step", len(tokens.text), tokens.text)
+    kind, value, position = token
+
+    if value == "(":
+        tokens.next()
+        inner = _parse_path_union(tokens)
+        tokens.expect(")")
+        return _parse_qualifiers(tokens, inner)
+
+    if value == ".":
+        tokens.next()
+        return _parse_qualifiers(tokens, xp.Step(xp.Axis.SELF, None))
+    if value == "..":
+        tokens.next()
+        return _parse_qualifiers(tokens, xp.Step(xp.Axis.PARENT, None))
+    if value == "*":
+        tokens.next()
+        return _parse_qualifiers(tokens, xp.Step(xp.Axis.CHILD, None))
+
+    if kind == "name":
+        following = tokens.peek(1)
+        if following is not None and following[1] == "::":
+            axis_name = value
+            axis = _AXIS_NAMES.get(axis_name)
+            if axis is None:
+                raise ParseError(f"unknown axis {axis_name!r}", position, tokens.text)
+            tokens.next()
+            tokens.next()  # '::'
+            test_token = tokens.peek()
+            if test_token is None:
+                raise ParseError("expected a node test", len(tokens.text), tokens.text)
+            if test_token[1] == "*":
+                tokens.next()
+                step: xp.Path = xp.Step(axis, None)
+            elif test_token[0] == "name":
+                tokens.next()
+                step = xp.Step(axis, test_token[1])
+            else:
+                raise ParseError("expected a node test", test_token[2], tokens.text)
+            return _parse_qualifiers(tokens, step)
+        tokens.next()
+        return _parse_qualifiers(tokens, xp.Step(xp.Axis.CHILD, value))
+
+    raise ParseError(f"unexpected token {value!r} in path", position, tokens.text)
+
+
+def _parse_path_union(tokens: _Tokens) -> xp.Path:
+    left = _parse_relative_path(tokens)
+    while tokens.accept("|"):
+        right = _parse_relative_path(tokens)
+        left = xp.PathUnion(left, right)
+    return left
+
+
+def _parse_qualifiers(tokens: _Tokens, path: xp.Path) -> xp.Path:
+    while tokens.accept("["):
+        qualifier = _parse_qualifier_or(tokens)
+        tokens.expect("]")
+        path = xp.QualifiedPath(path, qualifier)
+    return path
+
+
+# -- qualifiers --------------------------------------------------------------------
+
+
+def _parse_qualifier_or(tokens: _Tokens) -> xp.Qualifier:
+    left = _parse_qualifier_and(tokens)
+    while tokens.accept_name("or"):
+        right = _parse_qualifier_and(tokens)
+        left = xp.QualifierOr(left, right)
+    return left
+
+
+def _parse_qualifier_and(tokens: _Tokens) -> xp.Qualifier:
+    left = _parse_qualifier_atom(tokens)
+    while tokens.accept_name("and"):
+        right = _parse_qualifier_atom(tokens)
+        left = xp.QualifierAnd(left, right)
+    return left
+
+
+def _parse_qualifier_atom(tokens: _Tokens) -> xp.Qualifier:
+    token = tokens.peek()
+    if token is None:
+        raise ParseError("expected a qualifier", len(tokens.text), tokens.text)
+    if token[0] == "name" and token[1] == "not":
+        following = tokens.peek(1)
+        if following is not None and following[1] == "(":
+            tokens.next()
+            tokens.next()
+            inner = _parse_qualifier_or(tokens)
+            tokens.expect(")")
+            return xp.QualifierNot(inner)
+    if token[1] == "(":
+        tokens.next()
+        inner = _parse_qualifier_or(tokens)
+        tokens.expect(")")
+        return inner
+    path = _parse_qualifier_path(tokens)
+    return xp.QualifierPath(path)
+
+
+def _parse_qualifier_path(tokens: _Tokens) -> xp.Path:
+    # Inside qualifiers, paths may start with "." or "//" (e.g. ".//b[c]").
+    token = tokens.peek()
+    if token is not None and token[1] == "//":
+        tokens.next()
+        rest = _parse_relative_path(tokens)
+        return xp.PathCompose(_STAR_STEP, rest)
+    path = _parse_relative_path(tokens)
+    return path

@@ -1,0 +1,184 @@
+"""Denotational semantics of the XPath fragment (Figures 5 and 6).
+
+Expressions are interpreted as functions between sets of focused trees.  The
+initial set represents the possible evaluation contexts; a relative path keeps
+only the contexts whose focus carries the start mark, while an absolute path
+first navigates to the root of each document.  The result is the set of
+focused trees (nodes) selected by the expression.
+
+This interpreter is the executable specification against which the Lµ
+translation of :mod:`repro.xpath.compile` is validated (Proposition 5.1(1)).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.trees.focus import FocusedTree, all_focuses
+from repro.trees.unranked import Tree
+from repro.xpath import ast as xp
+
+FocusSet = FrozenSet[FocusedTree]
+
+
+# -- auxiliary navigation functions (Figure 6) ---------------------------------
+
+
+def _fchild(nodes: FocusSet) -> FocusSet:
+    return frozenset(f.follow(1) for f in nodes if f.follow(1) is not None)
+
+
+def _nsibling(nodes: FocusSet) -> FocusSet:
+    return frozenset(f.follow(2) for f in nodes if f.follow(2) is not None)
+
+
+def _psibling(nodes: FocusSet) -> FocusSet:
+    return frozenset(f.follow(-2) for f in nodes if f.follow(-2) is not None)
+
+
+def _parent(nodes: FocusSet) -> FocusSet:
+    result = set()
+    for focus in nodes:
+        current = focus
+        # The parent navigation of Figure 6 rebuilds the parent node whatever
+        # the position of the focus among its siblings; with the zipper this
+        # is "move to the leftmost sibling, then up".
+        while current.follow(-2) is not None:
+            current = current.follow(-2)
+        up = current.follow(-1)
+        if up is not None:
+            result.add(up)
+    return frozenset(result)
+
+
+def _root(nodes: FocusSet) -> FocusSet:
+    return frozenset(f.to_root() for f in nodes)
+
+
+def _transitive(step, nodes: FocusSet) -> FocusSet:
+    """Least fixpoint of repeatedly applying ``step`` (used for recursive axes)."""
+    result: set[FocusedTree] = set()
+    frontier = step(nodes)
+    while frontier - result:
+        result |= frontier
+        frontier = step(frozenset(frontier))
+    return frozenset(result)
+
+
+# -- axes (Figure 5, bottom) -----------------------------------------------------
+
+
+def axis_function(axis: xp.Axis, nodes: FocusSet) -> FocusSet:
+    """The interpretation ``S_a[[axis]]`` applied to a set of focused trees."""
+    if axis is xp.Axis.SELF:
+        return nodes
+    if axis is xp.Axis.CHILD:
+        first = _fchild(nodes)
+        return first | _transitive(_nsibling, first)
+    if axis is xp.Axis.FOLL_SIBLING:
+        return _transitive(_nsibling, nodes)
+    if axis is xp.Axis.PREC_SIBLING:
+        return _transitive(_psibling, nodes)
+    if axis is xp.Axis.PARENT:
+        return _parent(nodes)
+    if axis is xp.Axis.DESCENDANT:
+        return _transitive(lambda current: axis_function(xp.Axis.CHILD, current), nodes)
+    if axis is xp.Axis.DESC_OR_SELF:
+        return nodes | axis_function(xp.Axis.DESCENDANT, nodes)
+    if axis is xp.Axis.ANCESTOR:
+        return _transitive(_parent, nodes)
+    if axis is xp.Axis.ANC_OR_SELF:
+        return nodes | axis_function(xp.Axis.ANCESTOR, nodes)
+    if axis is xp.Axis.FOLLOWING:
+        return axis_function(
+            xp.Axis.DESC_OR_SELF,
+            axis_function(xp.Axis.FOLL_SIBLING, axis_function(xp.Axis.ANC_OR_SELF, nodes)),
+        )
+    if axis is xp.Axis.PRECEDING:
+        return axis_function(
+            xp.Axis.DESC_OR_SELF,
+            axis_function(xp.Axis.PREC_SIBLING, axis_function(xp.Axis.ANC_OR_SELF, nodes)),
+        )
+    raise AssertionError(f"unknown axis {axis!r}")
+
+
+# -- paths and qualifiers ----------------------------------------------------------
+
+
+def path_function(path: xp.Path, nodes: FocusSet) -> FocusSet:
+    """The interpretation ``S_p[[path]]`` applied to a set of focused trees."""
+    if isinstance(path, xp.PathCompose):
+        return path_function(path.second, path_function(path.first, nodes))
+    if isinstance(path, xp.QualifiedPath):
+        selected = path_function(path.path, nodes)
+        return frozenset(f for f in selected if qualifier_holds(path.qualifier, f))
+    if isinstance(path, xp.PathUnion):
+        return path_function(path.left, nodes) | path_function(path.right, nodes)
+    if isinstance(path, xp.Step):
+        selected = axis_function(path.axis, nodes)
+        if path.label is None:
+            return selected
+        return frozenset(f for f in selected if f.name == path.label)
+    raise AssertionError(f"unknown path node {path!r}")
+
+
+def qualifier_holds(qualifier: xp.Qualifier, focus: FocusedTree) -> bool:
+    """The interpretation ``S_q[[qualifier]]`` at a single focused tree."""
+    if isinstance(qualifier, xp.QualifierAnd):
+        return qualifier_holds(qualifier.left, focus) and qualifier_holds(
+            qualifier.right, focus
+        )
+    if isinstance(qualifier, xp.QualifierOr):
+        return qualifier_holds(qualifier.left, focus) or qualifier_holds(
+            qualifier.right, focus
+        )
+    if isinstance(qualifier, xp.QualifierNot):
+        return not qualifier_holds(qualifier.inner, focus)
+    if isinstance(qualifier, xp.QualifierPath):
+        return bool(path_function(qualifier.path, frozenset({focus})))
+    raise AssertionError(f"unknown qualifier node {qualifier!r}")
+
+
+# -- expressions ----------------------------------------------------------------------
+
+
+def evaluate_xpath(expr: xp.Expr, contexts: FocusSet) -> FocusSet:
+    """The interpretation ``S_e[[expr]]`` applied to a set of context candidates."""
+    if isinstance(expr, xp.AbsolutePath):
+        return path_function(expr.path, _root(contexts))
+    if isinstance(expr, xp.RelativePath):
+        return path_function(expr.path, frozenset(f for f in contexts if f.marked))
+    if isinstance(expr, xp.ExprUnion):
+        return evaluate_xpath(expr.left, contexts) | evaluate_xpath(expr.right, contexts)
+    if isinstance(expr, xp.ExprIntersection):
+        return evaluate_xpath(expr.left, contexts) & evaluate_xpath(expr.right, contexts)
+    raise AssertionError(f"unknown expression node {expr!r}")
+
+
+def select(expr: xp.Expr, document: Tree) -> FocusSet:
+    """Evaluate an expression against a document carrying one start mark.
+
+    The contexts are all focuses of the document; relative expressions start
+    from the marked node, absolute ones from the root.  The result is the set
+    of selected focused trees.
+    """
+    if document.mark_count() != 1:
+        raise ValueError(
+            "the document must carry exactly one start mark designating the "
+            "evaluation context; use Tree.mark_at"
+        )
+    contexts = frozenset(all_focuses(document))
+    return evaluate_xpath(expr, contexts)
+
+
+def select_labels(expr: xp.Expr, document: Tree) -> list[str]:
+    """Labels of the selected nodes, in document order (testing convenience)."""
+    selected = select(expr, document)
+    ordered = []
+    for path, node in sorted(document.iter_paths()):
+        from repro.trees.focus import focus_at
+
+        focus = focus_at(document, path)
+        if focus in selected:
+            ordered.append(node.label)
+    return ordered

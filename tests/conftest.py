@@ -1,0 +1,43 @@
+"""Shared fixtures for the test-suite.
+
+The ``src`` directory is added to ``sys.path`` so the tests run even when the
+package has not been installed (the offline reproduction environment lacks the
+``wheel`` package needed by ``pip install -e .``; ``python setup.py develop``
+is the documented fallback).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest
+
+from repro.trees.unranked import Tree, parse_tree
+
+
+@pytest.fixture
+def small_document() -> Tree:
+    """A small document with the start mark on the root."""
+    return parse_tree("<r!><a><c/></a><a><d/><b/></a><b/></r>")
+
+
+@pytest.fixture
+def book_document() -> Tree:
+    """The book/chapter/section document from the paper's XPath primer."""
+    return parse_tree(
+        "<book!>"
+        "<chapter><section/><section/></chapter>"
+        "<chapter><section><title/></section></chapter>"
+        "</book>"
+    )
+
+
+def documents_with_every_mark(text: str) -> list[Tree]:
+    """All markings of a document: one copy per node carrying the start mark."""
+    base = parse_tree(text).unmark_all()
+    return [base.mark_at(path) for path, _node in sorted(base.iter_paths())]

@@ -1,0 +1,101 @@
+"""Tests of the decision problems of Section 8 (analysis API)."""
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    check_containment,
+    check_coverage,
+    check_emptiness,
+    check_equivalence,
+    check_overlap,
+    check_satisfiability,
+    check_type_inclusion,
+)
+from repro.xmltypes.dtd import parse_dtd
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import select
+
+SIMPLE_DTD = parse_dtd(
+    "<!ELEMENT r (a*, b?)><!ELEMENT a (c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+    root="r",
+)
+
+
+def test_satisfiability_and_emptiness_without_type():
+    assert check_satisfiability("child::a").holds
+    assert not check_emptiness("child::a").holds
+    # self::a intersected with self::b can never select anything.
+    assert check_emptiness("self::a ∩ self::b").holds
+
+
+def test_satisfiability_under_type_constraint():
+    # Under the simple DTD, an "a" node always has a "c" child ...
+    assert check_satisfiability("child::a[c]", SIMPLE_DTD).holds
+    # ... and never has a "b" child.
+    assert check_emptiness("child::a[b]", SIMPLE_DTD).holds
+
+
+def test_containment_positive_and_negative():
+    assert check_containment("child::a", "child::*").holds
+    negative = check_containment("child::*", "child::a")
+    assert not negative.holds
+    assert negative.counterexample is not None
+
+
+def test_containment_counterexample_is_genuine():
+    result = check_containment("child::c/preceding-sibling::a[child::b]", "child::c[child::b]")
+    assert not result.holds
+    document = result.counterexample
+    assert document is not None and document.mark_count() == 1
+    bigger = select(parse_xpath("child::c/preceding-sibling::a[child::b]"), document)
+    smaller = select(parse_xpath("child::c[child::b]"), document)
+    assert bigger - smaller, "counterexample does not separate the two queries"
+
+
+def test_containment_under_types():
+    # Under the DTD the only children an "a" element may have are "c" elements,
+    # so the containment holds with the type constraint and fails without it.
+    assert check_containment(
+        "child::a/child::*", "child::a/child::c", type1=SIMPLE_DTD, type2=SIMPLE_DTD
+    ).holds
+    assert not check_containment("child::a/child::*", "child::a/child::c").holds
+
+
+def test_equivalence():
+    forward, backward = check_equivalence("child::a[b]", "child::a[child::b]")
+    assert forward.holds and backward.holds
+    forward, backward = check_equivalence("child::a", "child::*")
+    assert forward.holds and not backward.holds
+
+
+def test_overlap():
+    assert check_overlap("child::a", "child::*[not(b)]").holds
+    assert not check_overlap("child::a", "child::b").holds
+
+
+def test_coverage():
+    assert check_coverage("child::*", ["child::a", "child::*[not(self::a)]"]).holds
+    result = check_coverage("child::*", ["child::a", "child::b"])
+    assert not result.holds and result.counterexample is not None
+
+
+def test_type_inclusion():
+    output_type = parse_dtd("<!ELEMENT a (c)><!ELEMENT c EMPTY>", root="a")
+    assert check_type_inclusion("child::a", SIMPLE_DTD, output_type).holds
+    wrong_output = parse_dtd("<!ELEMENT a EMPTY>", root="a")
+    assert not check_type_inclusion("child::a", SIMPLE_DTD, wrong_output).holds
+
+
+def test_analyzer_describe_and_timing():
+    result = Analyzer().containment("child::a", "child::*")
+    assert result.time_ms >= 0.0
+    assert "containment" in result.describe()
+
+
+def test_analyzer_accepts_parsed_expressions_and_formulas():
+    from repro.xmltypes.compile import compile_dtd
+
+    expr = parse_xpath("child::a")
+    type_formula = compile_dtd(SIMPLE_DTD)
+    assert Analyzer().satisfiability(expr, type_formula).holds

@@ -1,0 +1,117 @@
+"""Tests for negation: De Morgan dualities, fixpoint duality, semantic correctness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic import syntax as sx
+from repro.logic.negation import NegationError, negate
+from repro.logic.semantics import interpret
+from repro.trees.focus import all_focuses
+from repro.trees.unranked import parse_tree
+
+
+def test_negate_atoms():
+    assert negate(sx.TRUE) is sx.FALSE
+    assert negate(sx.FALSE) is sx.TRUE
+    assert negate(sx.prop("a")) is sx.nprop("a")
+    assert negate(sx.nprop("a")) is sx.prop("a")
+    assert negate(sx.START) is sx.NSTART
+    assert negate(sx.NSTART) is sx.START
+
+
+def test_negate_modalities():
+    assert negate(sx.dia(1, sx.TRUE)) is sx.no_dia(1)
+    assert negate(sx.no_dia(2)) is sx.dia(2, sx.TRUE)
+    negated = negate(sx.dia(1, sx.prop("a")))
+    assert negated is sx.mk_or(sx.no_dia(1), sx.dia(1, sx.nprop("a")))
+
+
+def test_negate_connectives_are_de_morgan():
+    a, b = sx.prop("a"), sx.prop("b")
+    assert negate(a & b) is sx.mk_or(sx.nprop("a"), sx.nprop("b"))
+    assert negate(a | b) is sx.mk_and(sx.nprop("a"), sx.nprop("b"))
+
+
+def test_double_negation_on_modality_free_formulas_is_identity():
+    formula = sx.mk_and(sx.prop("a"), sx.mk_or(sx.nprop("b"), sx.START))
+    assert negate(negate(formula)) is formula
+
+
+def test_double_negation_is_semantically_the_identity():
+    formula = sx.mk_and(sx.prop("a"), sx.dia(1, sx.mk_or(sx.prop("b"), sx.START)))
+    double = negate(negate(formula))
+    universe = frozenset(all_focuses(parse_tree("<a!><b/><c><b/></c></a>")))
+    assert interpret(double, universe) == interpret(formula, universe)
+
+
+def test_negate_free_variable_is_rejected():
+    with pytest.raises(NegationError):
+        negate(sx.var("X"))
+
+
+def test_negate_fixpoint_keeps_variables_unnegated():
+    formula = sx.mu1(lambda x: sx.dia(1, x) | sx.prop("a"))
+    negated = negate(formula)
+    assert negated.is_fixpoint
+    # The recursion variable still occurs positively in the dual definition.
+    assert any(
+        sub.kind == sx.KIND_VAR for sub in sx.iter_subformulas(negated.defs[0][1])
+    )
+
+
+# -- semantic correctness: ¬ϕ holds exactly where ϕ does not ------------------------------
+
+_MARKED_DOCS = [
+    "<a!><b/><c><d/></c></a>",
+    "<a><b!/><b/></a>",
+    "<x><y><z!/></y><y/></x>",
+]
+
+_FORMULAS = [
+    sx.prop("b"),
+    sx.START,
+    sx.dia(1, sx.prop("b")),
+    sx.no_dia(2),
+    sx.mk_and(sx.dia(-1, sx.TRUE), sx.nprop("b")),
+    sx.mu1(lambda x: sx.dia(1, x) | sx.prop("d")),          # some descendant-or-self is d
+    sx.mu1(lambda x: sx.dia(-1, sx.START) | sx.dia(-2, x)),  # child of the marked node
+]
+
+
+@pytest.mark.parametrize("text", _MARKED_DOCS)
+@pytest.mark.parametrize("formula", _FORMULAS)
+def test_negation_is_semantic_complement(text, formula):
+    universe = frozenset(all_focuses(parse_tree(text)))
+    positive = interpret(formula, universe)
+    negative = interpret(negate(formula), universe)
+    assert positive | negative == universe
+    assert positive & negative == frozenset()
+
+
+# -- property-based: random boolean combinations over a fixed document ---------------------
+
+_ATOMS = st.sampled_from(
+    [sx.prop("a"), sx.prop("b"), sx.START, sx.dia(1, sx.TRUE), sx.no_dia(-1)]
+)
+
+
+def _formulas():
+    return st.recursive(
+        _ATOMS,
+        lambda sub: st.one_of(
+            st.builds(sx.mk_and, sub, sub),
+            st.builds(sx.mk_or, sub, sub),
+            st.builds(lambda inner: sx.dia(1, inner), sub),
+            st.builds(lambda inner: sx.dia(-2, inner), sub),
+        ),
+        max_leaves=6,
+    )
+
+
+@given(_formulas())
+def test_negation_complement_property(formula):
+    universe = frozenset(all_focuses(parse_tree("<a!><b/><a><b/></a></a>")))
+    positive = interpret(formula, universe)
+    negative = interpret(negate(formula), universe)
+    assert positive | negative == universe
+    assert not (positive & negative)

@@ -1,0 +1,86 @@
+"""Tests for the textual Lµ syntax: printing and parsing round-trips."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.logic import syntax as sx
+from repro.logic.parser import parse_formula
+from repro.logic.printer import format_formula, format_formula_pretty
+
+
+def test_print_atoms():
+    assert format_formula(sx.TRUE) == "T"
+    assert format_formula(sx.FALSE) == "F"
+    assert format_formula(sx.START) == "s"
+    assert format_formula(sx.NSTART) == "~s"
+    assert format_formula(sx.prop("div")) == "div"
+    assert format_formula(sx.nprop("div")) == "~div"
+
+
+def test_print_modalities_and_connectives():
+    formula = sx.mk_and(sx.dia(1, sx.prop("a")), sx.no_dia(-2))
+    assert format_formula(formula) == "<1>a & ~<-2>T"
+    nested = sx.mk_or(sx.prop("a"), sx.mk_and(sx.prop("b"), sx.prop("c")))
+    assert format_formula(nested) == "a | b & c"
+
+
+def test_print_fixpoint():
+    formula = sx.mu((("X", sx.dia(1, sx.var("X")) | sx.prop("a")),), sx.var("X"))
+    assert format_formula(formula) == "let_mu X = <1>$X | a in $X"
+
+
+def test_parse_atoms_and_connectives():
+    assert parse_formula("T") is sx.TRUE
+    assert parse_formula("a & b | c") is sx.mk_or(
+        sx.mk_and(sx.prop("a"), sx.prop("b")), sx.prop("c")
+    )
+    assert parse_formula("<1>a & <-1>T") is sx.mk_and(
+        sx.dia(1, sx.prop("a")), sx.dia(-1, sx.TRUE)
+    )
+
+
+def test_parse_negation_normalises():
+    assert parse_formula("~<1>T") is sx.no_dia(1)
+    assert parse_formula("~(a | b)") is sx.mk_and(sx.nprop("a"), sx.nprop("b"))
+    assert parse_formula("~s") is sx.NSTART
+
+
+def test_parse_fixpoint_with_bindings():
+    formula = parse_formula("let_mu X = <1>$X | a, Y = <2>$Y | b in $X & $Y")
+    assert formula.is_fixpoint
+    assert [name for name, _def in formula.defs] == ["X", "Y"]
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_formula("a &")
+    with pytest.raises(ParseError):
+        parse_formula("(a | b")
+    with pytest.raises(ParseError):
+        parse_formula("let_mu X = a $X")
+
+
+@pytest.mark.parametrize(
+    "formula",
+    [
+        sx.mk_and(sx.prop("a"), sx.dia(1, sx.mk_or(sx.prop("b"), sx.START))),
+        sx.mu1(lambda x: sx.dia(-1, sx.START) | sx.dia(-2, x)),
+        sx.mk_or(sx.no_dia(1), sx.dia(2, sx.nprop("p"))),
+        sx.mu(
+            (("A", sx.dia(1, sx.var("A")) | sx.prop("x")), ("B", sx.dia(2, sx.var("A")))),
+            sx.var("B"),
+        ),
+    ],
+)
+def test_round_trip(formula):
+    assert parse_formula(format_formula(formula)) is formula
+
+
+def test_pretty_printer_splits_bindings():
+    formula = sx.mu(
+        (("A", sx.prop("a")), ("B", sx.prop("b"))),
+        sx.var("A") | sx.var("B"),
+    )
+    pretty = format_formula_pretty(formula)
+    assert pretty.splitlines()[0] == "let_mu"
+    assert len(pretty.splitlines()) == 4

@@ -1,0 +1,110 @@
+"""Tests of the declarative interpretation of Lµ formulas (Figure 2)."""
+
+import pytest
+
+from repro.logic import syntax as sx
+from repro.logic.semantics import interpret, models_of, satisfies
+from repro.trees.focus import all_focuses, focus_at
+from repro.trees.unranked import parse_tree
+
+DOC = parse_tree("<a!><b/><c><d/></c></a>")
+UNIVERSE = frozenset(all_focuses(DOC))
+
+
+def names(focuses):
+    return sorted(f.name for f in focuses)
+
+
+def test_true_and_false():
+    assert interpret(sx.TRUE, UNIVERSE) == UNIVERSE
+    assert interpret(sx.FALSE, UNIVERSE) == frozenset()
+
+
+def test_atomic_propositions():
+    assert names(interpret(sx.prop("b"), UNIVERSE)) == ["b"]
+    assert names(interpret(sx.nprop("b"), UNIVERSE)) == ["a", "c", "d"]
+
+
+def test_start_proposition():
+    assert names(interpret(sx.START, UNIVERSE)) == ["a"]
+    assert names(interpret(sx.NSTART, UNIVERSE)) == ["b", "c", "d"]
+
+
+def test_modalities_follow_navigation():
+    # ⟨1⟩b: the first child is named b — only the root qualifies.
+    assert names(interpret(sx.dia(1, sx.prop("b")), UNIVERSE)) == ["a"]
+    # ⟨2⟩c: the next sibling is named c — only b qualifies.
+    assert names(interpret(sx.dia(2, sx.prop("c")), UNIVERSE)) == ["b"]
+    # ⟨-1⟩⊤: being a first child.
+    assert names(interpret(sx.dia(-1, sx.TRUE), UNIVERSE)) == ["b", "d"]
+    # ¬⟨1⟩⊤: leaves.
+    assert names(interpret(sx.no_dia(1), UNIVERSE)) == ["b", "d"]
+
+
+def test_boolean_connectives():
+    formula = sx.mk_or(sx.prop("b"), sx.prop("d"))
+    assert names(interpret(formula, UNIVERSE)) == ["b", "d"]
+    formula = sx.mk_and(sx.dia(-1, sx.TRUE), sx.nprop("b"))
+    assert names(interpret(formula, UNIVERSE)) == ["d"]
+
+
+def test_least_fixpoint_descendant_or_self():
+    # Nodes with a d somewhere below-or-at themselves (through 1/2 navigation).
+    formula = sx.mu1(lambda x: sx.prop("d") | sx.dia(1, x) | sx.dia(2, x))
+    assert names(interpret(formula, UNIVERSE)) == ["a", "b", "c", "d"]
+
+
+def test_least_fixpoint_without_base_case_is_empty():
+    # µX.⟨1⟩X ∨ ⟨1̄⟩X has an empty least interpretation (Section 4 example).
+    formula = sx.mu1(lambda x: sx.dia(1, x) | sx.dia(-1, x))
+    assert interpret(formula, UNIVERSE) == frozenset()
+
+
+def test_greatest_fixpoint_differs_on_non_cycle_free_formula():
+    # νX.⟨1⟩X ∨ ⟨1̄⟩X contains every focused tree with at least two nodes in a
+    # parent/child relation (Section 4 example).
+    name = "X"
+    definition = sx.dia(1, sx.var(name)) | sx.dia(-1, sx.var(name))
+    formula = sx.nu(((name, definition),), definition)
+    assert interpret(formula, UNIVERSE) == UNIVERSE
+
+
+def test_fixpoints_coincide_for_cycle_free_formulas():
+    # Lemma 4.2 on a sample of cycle-free recursive formulas.
+    builders = [
+        lambda x: sx.prop("d") | sx.dia(1, x) | sx.dia(2, x),
+        lambda x: sx.dia(-1, sx.START) | sx.dia(-2, x),
+        lambda x: sx.prop("c") | sx.dia(-1, x),
+    ]
+    for build in builders:
+        name = sx.fresh_var_name()
+        definition = build(sx.var(name))
+        least = sx.mu(((name, definition),), definition)
+        greatest = sx.nu(((name, definition),), definition)
+        assert interpret(least, UNIVERSE) == interpret(greatest, UNIVERSE)
+
+
+def test_satisfies_checks_a_single_focused_tree():
+    formula = sx.mk_and(sx.prop("c"), sx.dia(1, sx.prop("d")))
+    assert satisfies(formula, focus_at(DOC, (1,)))
+    assert not satisfies(formula, focus_at(DOC, (0,)))
+
+
+def test_satisfies_requires_single_mark():
+    with pytest.raises(ValueError):
+        satisfies(sx.TRUE, focus_at(parse_tree("<a><b/></a>"), ()))
+
+
+def test_models_of_multiple_documents():
+    other = parse_tree("<c!><d/></c>")
+    result = models_of(sx.prop("d"), [DOC, other])
+    assert names(result) == ["d", "d"]
+
+
+def test_variable_environment_is_used():
+    # ⟨1⟩V holds where the first child belongs to V's valuation.
+    valuation = {"V": frozenset(f for f in UNIVERSE if f.name == "b")}
+    assert names(interpret(sx.dia(1, sx.var("V")), UNIVERSE, valuation)) == ["a"]
+    # ⟨2⟩V with V = the "c" nodes holds at their previous sibling "b".
+    valuation = {"V": frozenset(f for f in UNIVERSE if f.name == "c")}
+    assert names(interpret(sx.dia(2, sx.var("V")), UNIVERSE, valuation)) == ["b"]

@@ -1,0 +1,115 @@
+"""Unit tests for the Lµ syntax: hash-consing, constructors, substitution, expansion."""
+
+import pytest
+
+from repro.logic import syntax as sx
+
+
+def test_hash_consing_makes_equal_formulas_identical():
+    one = sx.mk_and(sx.prop("a"), sx.dia(1, sx.prop("b")))
+    two = sx.mk_and(sx.prop("a"), sx.dia(1, sx.prop("b")))
+    assert one is two
+
+
+def test_or_simplifications():
+    assert sx.mk_or(sx.TRUE, sx.prop("a")) is sx.TRUE
+    assert sx.mk_or(sx.FALSE, sx.prop("a")) is sx.prop("a")
+    assert sx.mk_or(sx.prop("a"), sx.prop("a")) is sx.prop("a")
+
+
+def test_and_simplifications():
+    assert sx.mk_and(sx.FALSE, sx.prop("a")) is sx.FALSE
+    assert sx.mk_and(sx.TRUE, sx.prop("a")) is sx.prop("a")
+
+
+def test_dia_of_false_is_false():
+    assert sx.dia(1, sx.FALSE) is sx.FALSE
+
+
+def test_dia_rejects_bad_program():
+    with pytest.raises(ValueError):
+        sx.dia(3, sx.TRUE)
+
+
+def test_big_or_and_big_and():
+    props = [sx.prop(name) for name in "abc"]
+    assert sx.big_or([]) is sx.FALSE
+    assert sx.big_and([]) is sx.TRUE
+    assert sx.formula_size(sx.big_or(props)) == 5
+
+
+def test_fixpoint_requires_definitions():
+    with pytest.raises(ValueError):
+        sx.mu((), sx.TRUE)
+    with pytest.raises(ValueError):
+        sx.mu((("X", sx.TRUE), ("X", sx.FALSE)), sx.TRUE)
+
+
+def test_free_variables():
+    formula = sx.mu((("X", sx.dia(1, sx.var("X")) | sx.var("Y")),), sx.var("X"))
+    assert sx.free_variables(formula) == {"Y"}
+    assert sx.free_variables(sx.prop("a")) == frozenset()
+
+
+def test_substitute_replaces_free_occurrences_only():
+    inner = sx.mu((("X", sx.dia(1, sx.var("X"))),), sx.var("X"))
+    formula = sx.mk_or(sx.var("X"), inner)
+    substituted = sx.substitute(formula, {"X": sx.prop("a")})
+    assert substituted.left is sx.prop("a")
+    assert substituted.right is inner  # bound occurrence untouched
+
+
+def test_substitute_empty_mapping_is_identity():
+    formula = sx.dia(1, sx.var("X"))
+    assert sx.substitute(formula, {}) is formula
+
+
+def test_expand_fixpoint_substitutes_closed_definitions():
+    formula = sx.mu((("X", sx.dia(1, sx.var("X")) | sx.prop("a")),), sx.var("X"))
+    expanded = sx.expand_fixpoint(formula)
+    assert sx.free_variables(expanded) == frozenset()
+    # Expanding again below the modality reaches the same closed formula.
+    assert expanded.is_fixpoint or expanded.kind in (sx.KIND_OR, sx.KIND_DIA)
+
+
+def test_expand_fixpoint_terminates_on_mutual_recursion():
+    formula = sx.mu(
+        (
+            ("X", sx.dia(1, sx.var("Y"))),
+            ("Y", sx.dia(2, sx.var("X")) | sx.prop("leaf")),
+        ),
+        sx.var("X"),
+    )
+    expanded = sx.expand_fixpoint(formula)
+    assert sx.free_variables(expanded) == frozenset()
+
+
+def test_mu1_builds_guarded_unary_fixpoint():
+    formula = sx.mu1(lambda x: sx.dia(1, x) | sx.prop("a"))
+    assert formula.is_fixpoint
+    assert len(formula.defs) == 1
+    assert formula.body is formula.defs[0][1]
+
+
+def test_formula_size_counts_shared_subterms_once():
+    shared = sx.dia(1, sx.prop("a"))
+    formula = sx.mk_and(shared, sx.mk_or(shared, sx.prop("b")))
+    assert sx.formula_size(formula) == 5  # and, or, dia, a, b
+
+
+def test_atomic_propositions():
+    formula = sx.mk_and(sx.prop("a"), sx.mk_or(sx.nprop("b"), sx.START))
+    assert sx.atomic_propositions(formula) == {"a", "b"}
+
+
+def test_rename_bound_variables_freshens_binders():
+    formula = sx.mu((("X", sx.dia(1, sx.var("X"))),), sx.var("X"))
+    renamed = sx.rename_bound_variables(formula)
+    assert renamed.defs[0][0] != "X"
+    assert sx.free_variables(renamed) == frozenset()
+
+
+def test_operator_overloading_matches_constructors():
+    a, b = sx.prop("a"), sx.prop("b")
+    assert (a | b) is sx.mk_or(a, b)
+    assert (a & b) is sx.mk_and(a, b)

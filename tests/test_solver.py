@@ -1,0 +1,201 @@
+"""Tests of the satisfiability solvers (Sections 6 and 7).
+
+The central properties checked here:
+
+* soundness — when the solver reports "satisfiable" it produces a model, and
+  the model really satisfies the formula according to the declarative
+  semantics of Figure 2;
+* completeness — formulas known to be satisfiable (because a concrete document
+  satisfies them) are reported satisfiable;
+* agreement between the explicit solver (Figure 16) and the symbolic BDD
+  solver (Section 7);
+* the mark-tracking update keeps exactly one start mark in every model.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import syntax as sx
+from repro.logic.negation import negate
+from repro.logic.semantics import interpret
+from repro.solver.explicit import ExplicitSolver
+from repro.solver.symbolic import SymbolicSolver
+from repro.solver.truth import psi_types, status_on_set
+from repro.logic.closure import lean as compute_lean
+from repro.trees.binary import binary_forest_to_unranked
+from repro.trees.focus import all_focuses
+from repro.trees.unranked import parse_tree
+
+
+def model_satisfies(result, formula) -> bool:
+    """Check a solver model against the declarative semantics."""
+    forest = result.model_forest()
+    assert forest is not None
+    assert sum(tree.mark_count() for tree in forest) == 1
+    for tree in forest:
+        if tree.mark_count() != 1:
+            continue
+        universe = frozenset(all_focuses(tree))
+        if interpret(formula, universe):
+            return True
+    return False
+
+
+# -- truth assignment ------------------------------------------------------------------
+
+
+def test_status_of_lean_atoms():
+    formula = sx.mk_and(sx.prop("a"), sx.dia(1, sx.prop("b")))
+    lean = compute_lean(formula)
+    members = frozenset({sx.prop("a"), sx.dia(1, sx.prop("b")), sx.dia(1, sx.TRUE)})
+    assert status_on_set(formula, members)
+    assert not status_on_set(sx.prop("b"), members)
+    assert status_on_set(sx.nprop("b"), members)
+    assert status_on_set(sx.no_dia(2), members)
+    assert not status_on_set(sx.NSTART, members) is False  # ¬s holds: no mark
+    assert len(lean) >= 7
+
+
+def test_status_unfolds_fixpoints():
+    formula = sx.mu1(lambda x: sx.prop("a") | sx.dia(1, x))
+    members_direct = frozenset({sx.prop("a")})
+    assert status_on_set(formula, members_direct)
+    members_modal = frozenset({sx.dia(1, sx.TRUE), sx.dia(1, formula), sx.prop("b")})
+    assert status_on_set(formula, members_modal)
+    assert not status_on_set(formula, frozenset({sx.prop("b")}))
+
+
+def test_psi_types_satisfy_constraints():
+    lean = compute_lean(sx.mk_and(sx.prop("a"), sx.dia(1, sx.prop("b"))))
+    types = list(psi_types(lean))
+    assert types
+    for assignment in types:
+        assert sum(1 for item in assignment.members if item.kind == sx.KIND_PROP) == 1
+        assert not (
+            assignment.has_parent_program(-1) and assignment.has_parent_program(-2)
+        )
+
+
+# -- symbolic solver: satisfiable cases ---------------------------------------------------
+
+
+SATISFIABLE = [
+    sx.prop("a") & sx.START,
+    sx.prop("a") & sx.dia(1, sx.prop("b")) & sx.START,
+    sx.dia(1, sx.dia(2, sx.prop("c"))) & sx.no_dia(-1) & sx.START,
+    sx.mu1(lambda x: sx.prop("b") | sx.dia(1, x)) & sx.START,
+    sx.dia(-1, sx.prop("a") & sx.START),
+    sx.NSTART & sx.dia(1, sx.START),
+]
+
+
+@pytest.mark.parametrize("formula", SATISFIABLE)
+def test_symbolic_satisfiable_with_verified_model(formula):
+    result = SymbolicSolver(formula).solve()
+    assert result.satisfiable
+    assert model_satisfies(result, formula)
+
+
+UNSATISFIABLE = [
+    sx.FALSE,
+    sx.prop("a") & sx.nprop("a"),
+    sx.prop("a") & sx.prop("b"),
+    sx.dia(1, sx.TRUE) & sx.no_dia(1),
+    sx.dia(-1, sx.TRUE) & sx.dia(-2, sx.TRUE),
+    sx.START & sx.NSTART,
+    sx.START & sx.dia(1, sx.START),       # two marks are impossible
+    sx.mu1(lambda x: sx.dia(1, x)),       # no base case: empty least fixpoint
+]
+
+
+@pytest.mark.parametrize("formula", UNSATISFIABLE)
+def test_symbolic_unsatisfiable(formula):
+    result = SymbolicSolver(formula).solve()
+    assert not result.satisfiable
+    assert result.model is None
+
+
+def test_symbolic_statistics_are_populated():
+    result = SymbolicSolver(SATISFIABLE[1]).solve()
+    stats = result.statistics.as_dict()
+    assert stats["lean_size"] > 0 and stats["iterations"] >= 1
+    assert stats["solve_seconds"] >= 0.0
+
+
+def test_solver_options_do_not_change_the_answer():
+    formula = sx.prop("a") & sx.dia(1, sx.prop("b") & sx.dia(2, sx.prop("c"))) & sx.START
+    reference = SymbolicSolver(formula).solve().satisfiable
+    for options in (
+        {"early_quantification": False},
+        {"monolithic_relation": True},
+        {"interleaved_order": False},
+    ):
+        assert SymbolicSolver(formula, **options).solve().satisfiable == reference
+
+
+def test_mark_tracking_rejects_double_mark_requirement():
+    # ⟨1⟩(s ∧ ⟨2⟩s): two distinct nodes would have to carry the mark.
+    formula = sx.dia(1, sx.START & sx.dia(2, sx.START))
+    assert not SymbolicSolver(formula).solve().satisfiable
+    # Without mark tracking (ablation mode) the solver accepts it — this is
+    # exactly the unsoundness the four-case update of Figure 16 prevents.
+    assert SymbolicSolver(formula, track_marks=False).solve().satisfiable
+
+
+def test_cycle_freeness_check_option():
+    from repro.core.errors import CycleFreenessError
+
+    bad = sx.mu1(lambda x: sx.dia(1, sx.dia(-1, x)))
+    with pytest.raises(CycleFreenessError):
+        SymbolicSolver(bad, check_cycle_freeness=True)
+
+
+# -- explicit solver and agreement ---------------------------------------------------------
+
+
+SMALL_FORMULAS = [
+    sx.prop("a") & sx.START,
+    sx.prop("a") & sx.nprop("a"),
+    sx.dia(1, sx.prop("b")) & sx.START,
+    sx.dia(1, sx.TRUE) & sx.no_dia(1),
+    sx.dia(-1, sx.START),
+    sx.START & sx.dia(2, sx.TRUE),
+]
+
+
+@pytest.mark.parametrize("formula", SMALL_FORMULAS)
+def test_explicit_and_symbolic_agree(formula):
+    explicit = ExplicitSolver(formula).solve()
+    symbolic = SymbolicSolver(formula).solve()
+    assert explicit.satisfiable == symbolic.satisfiable
+    if explicit.satisfiable:
+        forest = binary_forest_to_unranked(explicit.model)
+        assert sum(tree.mark_count() for tree in forest) == 1
+
+
+def test_explicit_solver_reports_statistics():
+    result = ExplicitSolver(sx.prop("a") & sx.START).solve()
+    assert result.type_count > 0 and result.iterations >= 1
+
+
+# -- satisfiability is consistent with negation (small property) ----------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from(
+        [
+            sx.prop("a"),
+            sx.dia(1, sx.prop("b")),
+            sx.no_dia(-1),
+            sx.dia(2, sx.TRUE),
+            sx.prop("a") & sx.dia(1, sx.prop("a")),
+        ]
+    )
+)
+def test_formula_or_negation_is_satisfiable(formula):
+    anchored = formula & sx.START
+    negated = negate(formula) & sx.START
+    sat_positive = SymbolicSolver(anchored).solve().satisfiable
+    sat_negative = SymbolicSolver(negated).solve().satisfiable
+    assert sat_positive or sat_negative

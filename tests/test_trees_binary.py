@@ -1,0 +1,68 @@
+"""Unit and property tests for the binary (first-child / next-sibling) encoding."""
+
+from hypothesis import given, strategies as st
+
+from repro.trees.binary import BinTree, binary_forest_to_unranked, to_binary, to_unranked
+from repro.trees.unranked import Tree, parse_tree
+
+
+def test_single_node_encoding():
+    binary = to_binary(parse_tree("<a/>"))
+    assert binary == BinTree("a", None, None, False)
+
+
+def test_children_become_left_spine():
+    binary = to_binary(parse_tree("<a><b/><c/><d/></a>"))
+    assert binary.label == "a"
+    assert binary.right is None
+    assert binary.left.label == "b"
+    assert binary.left.right.label == "c"
+    assert binary.left.right.right.label == "d"
+    assert binary.left.left is None
+
+
+def test_round_trip_simple():
+    document = parse_tree("<a><b><e/></b><c/><d><f/><g/></d></a>")
+    assert to_unranked(to_binary(document)) == document
+
+
+def test_marks_preserved():
+    document = parse_tree("<a><b!/><c/></a>")
+    binary = to_binary(document)
+    assert binary.mark_count() == 1
+    assert to_unranked(binary).mark_count() == 1
+
+
+def test_size_is_preserved():
+    document = parse_tree("<a><b><e/></b><c/></a>")
+    assert to_binary(document).size() == document.size()
+
+
+def test_forest_decoding():
+    forest = binary_forest_to_unranked(BinTree("a", None, BinTree("b", None, None)))
+    assert [tree.label for tree in forest] == ["a", "b"]
+
+
+# -- property-based: encoding and decoding are mutually inverse -------------------
+
+_LABELS = st.sampled_from(["a", "b", "c", "d"])
+
+
+def _trees(max_depth: int = 3):
+    return st.recursive(
+        st.builds(Tree, _LABELS, st.just(()), st.booleans()),
+        lambda children: st.builds(
+            Tree, _LABELS, st.lists(children, max_size=3).map(tuple), st.booleans()
+        ),
+        max_leaves=8,
+    )
+
+
+@given(_trees())
+def test_round_trip_property(document):
+    assert to_unranked(to_binary(document)) == document
+
+
+@given(_trees())
+def test_binary_size_matches_unranked_size(document):
+    assert to_binary(document).size() == document.size()

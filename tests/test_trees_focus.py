@@ -1,0 +1,115 @@
+"""Unit and property tests for focused trees (the zipper of Section 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import NavigationError
+from repro.trees.focus import (
+    FocusedTree,
+    all_focuses,
+    document_universe,
+    focus_at,
+    focus_root,
+    inverse,
+)
+from repro.trees.unranked import parse_tree
+
+
+@pytest.fixture
+def doc():
+    return parse_tree("<r!><a><c/></a><b/></r>")
+
+
+def test_root_focus_observations(doc):
+    focus = focus_root(doc)
+    assert focus.name == "r"
+    assert focus.marked
+    assert focus.context.is_top
+
+
+def test_first_child_and_back(doc):
+    focus = focus_root(doc)
+    child = focus.follow(1)
+    assert child.name == "a"
+    assert child.follow(-1) == focus
+
+
+def test_next_and_previous_sibling(doc):
+    first = focus_root(doc).follow(1)
+    second = first.follow(2)
+    assert second.name == "b"
+    assert second.follow(-2) == first
+
+
+def test_undefined_navigations_return_none(doc):
+    focus = focus_root(doc)
+    assert focus.follow(-1) is None
+    assert focus.follow(-2) is None
+    assert focus.follow(2) is None
+    leaf = focus.follow(1).follow(1)
+    assert leaf.name == "c"
+    assert leaf.follow(1) is None
+
+
+def test_follow_or_raise(doc):
+    with pytest.raises(NavigationError):
+        focus_root(doc).follow_or_raise(-1)
+
+
+def test_parent_only_from_leftmost_sibling(doc):
+    second = focus_root(doc).follow(1).follow(2)
+    assert second.follow(-1) is None  # not the leftmost sibling
+
+
+def test_inverse():
+    assert inverse(1) == -1 and inverse(-2) == 2
+    with pytest.raises(ValueError):
+        inverse(3)
+
+
+def test_focus_at_path(doc):
+    focus = focus_at(doc, (0, 0))
+    assert focus.name == "c"
+    assert focus.document() == doc
+
+
+def test_all_focuses_covers_every_node(doc):
+    names = sorted(f.name for f in all_focuses(doc))
+    assert names == ["a", "b", "c", "r"]
+
+
+def test_document_rebuild_after_navigation(doc):
+    wandering = focus_root(doc).follow(1).follow(1)
+    assert wandering.document() == doc
+
+
+def test_document_universe_requires_single_mark():
+    with pytest.raises(ValueError):
+        document_universe([parse_tree("<a><b/></a>")])
+
+
+def test_exactly_one_marked_focus(doc):
+    marked = [f for f in all_focuses(doc) if f.marked]
+    assert len(marked) == 1 and marked[0].name == "r"
+
+
+# -- property: every defined navigation step is undone by its converse ------------------
+
+_DOCS = st.sampled_from(
+    [
+        "<a!><b/><c><d/><e/></c></a>",
+        "<r!><x><y><z/></y></x></r>",
+        "<p><q!/><q/><q><r/></q></p>",
+    ]
+)
+
+
+@given(_DOCS, st.lists(st.sampled_from([1, 2, -1, -2]), max_size=6))
+def test_navigation_inverse_property(text, moves):
+    focus: FocusedTree = focus_root(parse_tree(text))
+    for move in moves:
+        following = focus.follow(move)
+        if following is None:
+            continue
+        assert following.follow(inverse(move)) == focus
+        focus = following

@@ -1,0 +1,94 @@
+"""Unit tests for unranked trees: parsing, serialisation, marking, traversal."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.trees.unranked import Tree, parse_tree, serialize_tree
+
+
+def test_parse_single_empty_element():
+    tree = parse_tree("<a/>")
+    assert tree.label == "a"
+    assert tree.children == ()
+    assert not tree.marked
+
+
+def test_parse_nested_elements():
+    tree = parse_tree("<a><b/><c><d/></c></a>")
+    assert [child.label for child in tree.children] == ["b", "c"]
+    assert tree.children[1].children[0].label == "d"
+
+
+def test_parse_marked_node():
+    tree = parse_tree("<a><b!/></a>")
+    assert not tree.marked
+    assert tree.children[0].marked
+    assert tree.mark_count() == 1
+
+
+def test_parse_rejects_mismatched_tags():
+    with pytest.raises(ParseError):
+        parse_tree("<a><b></a></b>")
+
+
+def test_parse_rejects_trailing_content():
+    with pytest.raises(ParseError):
+        parse_tree("<a/><b/>")
+
+
+def test_parse_rejects_text_content():
+    with pytest.raises(ParseError):
+        parse_tree("<a>hello</a>")
+
+
+def test_serialize_round_trip():
+    text = "<a><b!/><c><d/></c></a>"
+    assert serialize_tree(parse_tree(text)) == text
+
+
+def test_serialize_pretty_has_indentation():
+    pretty = serialize_tree(parse_tree("<a><b/></a>"), indent=2)
+    assert pretty == "<a>\n  <b/>\n</a>"
+
+
+def test_size_and_depth():
+    tree = parse_tree("<a><b/><c><d/></c></a>")
+    assert tree.size() == 4
+    assert tree.depth() == 3
+
+
+def test_labels():
+    tree = parse_tree("<a><b/><c><b/></c></a>")
+    assert tree.labels() == {"a", "b", "c"}
+
+
+def test_iter_paths_in_document_order():
+    tree = parse_tree("<a><b/><c><d/></c></a>")
+    paths = [path for path, _node in sorted(tree.iter_paths())]
+    assert paths == [(), (0,), (1,), (1, 0)]
+
+
+def test_mark_at_and_unmark_all():
+    tree = parse_tree("<a><b/><c><d/></c></a>")
+    marked = tree.mark_at((1, 0))
+    assert marked.find_mark() == (1, 0)
+    assert marked.mark_count() == 1
+    assert marked.unmark_all().mark_count() == 0
+
+
+def test_mark_at_invalid_path_raises():
+    tree = parse_tree("<a><b/></a>")
+    with pytest.raises(IndexError):
+        tree.mark_at((3,))
+
+
+def test_with_mark_does_not_mutate():
+    tree = Tree("a")
+    marked = tree.with_mark()
+    assert marked.marked and not tree.marked
+
+
+def test_trees_are_hashable_and_comparable():
+    assert parse_tree("<a><b/></a>") == parse_tree("<a><b/></a>")
+    assert hash(parse_tree("<a/>")) == hash(parse_tree("<a/>"))
+    assert parse_tree("<a/>") != parse_tree("<a!/>")

@@ -1,0 +1,133 @@
+"""Tests of the type → Lµ translation (Figure 14) and of the built-in DTD library."""
+
+import pytest
+
+from repro.logic.cyclefree import is_cycle_free
+from repro.logic.semantics import satisfies
+from repro.logic import syntax as sx
+from repro.trees.focus import focus_root
+from repro.trees.unranked import parse_tree
+from repro.xmltypes.binarize import binarize_dtd
+from repro.xmltypes.compile import compile_dtd, compile_grammar
+from repro.xmltypes.dtd import parse_dtd
+from repro.xmltypes.library import (
+    builtin_dtd,
+    smil_dtd,
+    wikipedia_dtd,
+    xhtml_core_dtd,
+    xhtml_strict_dtd,
+)
+from repro.xmltypes.membership import dtd_accepts
+
+SIMPLE_DTD = parse_dtd(
+    "<!ELEMENT r (a*, b?)><!ELEMENT a (c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+    root="r",
+)
+
+
+def _root_satisfies(formula, text):
+    document = parse_tree(text).unmark_all().mark_at(())
+    return satisfies(formula, focus_root(document))
+
+
+def test_translation_accepts_valid_documents():
+    formula = compile_dtd(SIMPLE_DTD)
+    for text in ["<r/>", "<r><b/></r>", "<r><a><c/></a><a><c/></a><b/></r>"]:
+        assert _root_satisfies(formula, text), text
+
+
+def test_translation_rejects_invalid_documents():
+    formula = compile_dtd(SIMPLE_DTD)
+    for text in ["<x/>", "<r><b/><a><c/></a></r>", "<r><a/></r>", "<r><b/><b/></r>"]:
+        assert not _root_satisfies(formula, text), text
+
+
+def test_translation_agrees_with_direct_validation_on_wikipedia():
+    dtd = wikipedia_dtd()
+    formula = compile_dtd(dtd)
+    documents = [
+        "<article><meta><title/></meta><text/></article>",
+        "<article><meta><title/><history><edit/></history></meta><redirect/></article>",
+        "<article><meta><title/></meta></article>",
+        "<article><redirect/><meta><title/></meta></article>",
+        "<edit><status/></edit>",
+    ]
+    for text in documents:
+        document = parse_tree(text)
+        assert dtd_accepts(dtd, document) == _root_satisfies(formula, text), text
+
+
+def test_translation_only_uses_forward_modalities():
+    formula = compile_dtd(wikipedia_dtd())
+    programs = {
+        sub.prog for sub in sx.iter_subformulas(formula) if sub.kind == sx.KIND_DIA
+    }
+    assert programs <= {1, 2}
+    assert is_cycle_free(formula)
+
+
+def test_translation_size_is_linear_in_grammar_size():
+    grammar = binarize_dtd(wikipedia_dtd()).restricted_to_reachable()
+    formula = compile_grammar(grammar)
+    alternatives = sum(len(alts) for alts in grammar.variables.values())
+    assert sx.formula_size(formula) <= 30 * alternatives
+
+
+def test_library_table1_statistics():
+    # Table 1 of the paper: SMIL 1.0 has 19 element symbols, XHTML 1.0 Strict 77.
+    assert smil_dtd().symbol_count() == 19
+    assert xhtml_strict_dtd().symbol_count() == 77
+    assert xhtml_core_dtd().symbol_count() == 21
+    assert wikipedia_dtd().symbol_count() == 9
+    assert binarize_dtd(smil_dtd()).restricted_to_reachable().variable_count() >= 11
+    assert binarize_dtd(xhtml_strict_dtd()).restricted_to_reachable().variable_count() >= 77
+
+
+def test_builtin_lookup():
+    assert builtin_dtd("smil") is smil_dtd()
+    assert builtin_dtd("xhtml") is xhtml_strict_dtd()
+    with pytest.raises(KeyError):
+        builtin_dtd("relaxng")
+
+
+def test_smil_validates_a_presentation():
+    dtd = smil_dtd()
+    document = parse_tree(
+        "<smil><head><layout><region/></layout></head>"
+        "<body><par><video><anchor/></video><audio/></par></body></smil>"
+    )
+    assert dtd_accepts(dtd, document)
+    assert not dtd_accepts(dtd, parse_tree("<smil><body/><head/></smil>"))
+
+
+def test_xhtml_core_validates_a_page():
+    dtd = xhtml_core_dtd()
+    document = parse_tree(
+        "<html><head><title/></head>"
+        "<body><div><p><a><img/></a></p></div><table><tr><td/></tr></table></body></html>"
+    )
+    assert dtd_accepts(dtd, document)
+    # Direct anchor nesting is forbidden ...
+    assert not dtd_accepts(
+        dtd, parse_tree("<html><head><title/></head><body><p><a><a/></a></p></body></html>")
+    )
+    # ... but nesting through an object element is allowed (the e8 loophole).
+    assert dtd_accepts(
+        dtd,
+        parse_tree(
+            "<html><head><title/></head><body><p><a><object><p><a/></p></object></a></p></body></html>"
+        ),
+    )
+
+
+def test_xhtml_strict_keeps_the_anchor_loophole():
+    dtd = xhtml_strict_dtd()
+    nested_through_object = parse_tree(
+        "<html><head><title/></head>"
+        "<body><p><a><object><p><a/></p></object></a></p></body></html>"
+    )
+    assert dtd_accepts(dtd, nested_through_object)
+    assert not dtd_accepts(
+        dtd,
+        parse_tree("<html><head><title/></head><body><p><a><a/></a></p></body></html>"),
+    )

