@@ -1,0 +1,91 @@
+"""Batch façade benchmark — amortised reuse across repeated Table 2 queries.
+
+A realistic analysis workload (editor, optimiser, validation service) issues
+the same family of decision problems over and over against the same schemas.
+This benchmark replays the fast rows of Table 2 several times and compares
+
+* the **cold path** — a fresh :class:`repro.api.StaticAnalyzer` per query, so
+  every query re-translates and re-solves from scratch (this is what calling
+  the one-shot helpers of :mod:`repro.analysis` in a loop costs), against
+* the **batched path** — one analyzer answering the whole workload via
+  :meth:`repro.api.StaticAnalyzer.solve_many`, sharing type translations,
+  query translations and solver verdicts.
+
+The measured speedup is asserted to be at least 1.5× and written to
+``BENCH_api_batch.json`` together with the per-path timings so the perf
+trajectory stays machine-readable across PRs.
+"""
+
+import time
+
+from conftest import FIGURE_21, write_bench_json, write_report
+from repro.api import Query, StaticAnalyzer
+
+#: How many times the workload repeats each Table 2 query.
+_REPEATS = 3
+
+#: Minimum required advantage of the batched path over cold per-query solves.
+_REQUIRED_SPEEDUP = 1.5
+
+
+def _table2_queries() -> list[Query]:
+    """The fast rows of Table 2 (the SMIL/XHTML rows live in the slow suite)."""
+    return [
+        Query.containment(FIGURE_21["e1"], FIGURE_21["e2"]),
+        Query.containment(FIGURE_21["e2"], FIGURE_21["e1"]),
+        Query.equivalence(FIGURE_21["e3"], FIGURE_21["e4"]),
+        Query.containment(FIGURE_21["e6"], FIGURE_21["e5"]),
+        Query.satisfiability("child::meta/child::title", "wikipedia"),
+        Query.containment("child::history", "child::history[edit]", "wikipedia", "wikipedia"),
+    ]
+
+
+def test_api_batch_speedup():
+    workload = _table2_queries() * _REPEATS
+
+    # Cold path: a fresh analyzer per query — no sharing whatsoever.
+    cold_started = time.perf_counter()
+    cold_outcomes = [StaticAnalyzer().solve(query) for query in workload]
+    cold_seconds = time.perf_counter() - cold_started
+
+    # Batched path: one analyzer for the whole workload.
+    analyzer = StaticAnalyzer()
+    report = analyzer.solve_many(workload)
+    batch_seconds = report.total_seconds
+
+    # Both paths must agree on every verdict.
+    for cold, batched in zip(cold_outcomes, report.outcomes):
+        assert cold.holds == batched.holds, cold.problem
+
+    speedup = cold_seconds / batch_seconds
+    lines = [
+        f"workload: {len(workload)} queries ({_REPEATS}x Table 2 fast rows)",
+        f"cold per-query solves: {cold_seconds * 1000:8.1f} ms",
+        f"batched solve_many:    {batch_seconds * 1000:8.1f} ms "
+        f"({report.solver_runs} solver runs, {report.cache_hits} cache hits)",
+        f"speedup: {speedup:.2f}x (required >= {_REQUIRED_SPEEDUP}x)",
+    ]
+    write_report("api_batch", lines)
+    write_bench_json(
+        "api_batch",
+        {
+            "benchmark": "StaticAnalyzer.solve_many vs cold per-query solves",
+            "workload_queries": len(workload),
+            "repeats": _REPEATS,
+            "cold_seconds": round(cold_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "speedup": round(speedup, 3),
+            "required_speedup": _REQUIRED_SPEEDUP,
+            "solver_runs": report.solver_runs,
+            "cache_hits": report.cache_hits,
+            "cache_statistics": analyzer.cache_statistics(),
+            "outcomes": [
+                {"problem": outcome.problem, "holds": outcome.holds}
+                for outcome in report.outcomes[: len(workload) // _REPEATS]
+            ],
+        },
+    )
+    assert speedup >= _REQUIRED_SPEEDUP, (
+        f"batched path only {speedup:.2f}x faster than cold solves "
+        f"(cold {cold_seconds:.3f}s vs batch {batch_seconds:.3f}s)"
+    )

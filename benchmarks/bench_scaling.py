@@ -10,13 +10,14 @@ enough for both.
 
 import pytest
 
-from conftest import write_report
+from conftest import write_bench_json, write_report
 from repro.analysis import Analyzer
 from repro.logic import syntax as sx
 from repro.solver.explicit import ExplicitSolver
 from repro.solver.symbolic import SymbolicSolver
 
 _ROWS: list[str] = []
+_JSON_ROWS: list[dict] = []
 _DEPTHS = [1, 2, 3, 4]
 
 
@@ -41,8 +42,16 @@ def test_scaling_with_query_depth(benchmark, depth):
         f"depth {depth}: lean={stats.lean_size:>3} iterations={stats.iterations:>2} "
         f"time={result.time_ms:>8.1f} ms"
     )
+    _JSON_ROWS.append({"depth": depth, "query": query, **stats.as_dict()})
     if depth == _DEPTHS[-1]:
         write_report("scaling_lean_size", ["containment of nested queries"] + _ROWS)
+        write_bench_json(
+            "scaling",
+            {
+                "benchmark": "containment of nested queries (Lemma 6.7 scaling)",
+                "rows": _JSON_ROWS,
+            },
+        )
 
 
 def test_explicit_vs_symbolic(benchmark):

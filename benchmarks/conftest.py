@@ -9,6 +9,7 @@ output capturing disabled.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -18,6 +19,10 @@ if str(SRC) not in sys.path:
 
 REPORT_DIR = Path(__file__).resolve().parent / "reports"
 
+#: Machine-readable benchmark results land at the repository root as
+#: ``BENCH_<name>.json`` so successive PRs can track the perf trajectory.
+BENCH_JSON_DIR = Path(__file__).resolve().parent.parent
+
 
 def write_report(name: str, lines: list[str]) -> None:
     """Write (and print) the reproduced rows of a table or figure."""
@@ -25,6 +30,16 @@ def write_report(name: str, lines: list[str]) -> None:
     text = "\n".join(lines) + "\n"
     (REPORT_DIR / f"{name}.txt").write_text(text)
     print(f"\n===== {name} =====\n{text}")
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable benchmark result to ``BENCH_<name>.json``."""
+    path = BENCH_JSON_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, ensure_ascii=False) + "\n", encoding="utf-8"
+    )
+    print(f"\nwrote {path}")
+    return path
 
 
 #: The twelve benchmark XPath expressions of Figure 21.

@@ -2,10 +2,16 @@
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
+
+The first half uses the one-shot helpers of :mod:`repro.analysis`; the second
+half shows the recommended entry point for real workloads, the caching batch
+façade of :mod:`repro.api`.
 """
 
 from repro import (
+    Query,
+    StaticAnalyzer,
     check_containment,
     check_emptiness,
     check_overlap,
@@ -40,6 +46,26 @@ def main() -> None:
     # 5. Emptiness and overlap.
     print(check_emptiness("self::a ∩ self::b").describe())
     print(check_overlap("descendant::title", "book/title").describe())
+
+    # 6. Batches: one StaticAnalyzer shares type translations, query
+    #    translations and solver verdicts across all queries it answers.
+    analyzer = StaticAnalyzer()
+    report = analyzer.solve_many(
+        [
+            Query.satisfiability("child::meta/child::title", "wikipedia"),
+            Query.emptiness("child::title/child::meta", "wikipedia"),
+            Query.containment("child::history", "child::history[edit]", "wikipedia", "wikipedia"),
+            # Duplicate of the first query: answered from the solve cache.
+            Query.satisfiability("child::meta/child::title", "wikipedia"),
+        ]
+    )
+    for outcome in report.outcomes:
+        cached = " (cached)" if outcome.from_cache else ""
+        print(f"{outcome.problem}: holds={outcome.holds}{cached}")
+    print(
+        f"batch: {len(report.outcomes)} queries, {report.solver_runs} solver runs, "
+        f"{report.cache_hits} cache hits, {report.total_seconds * 1000:.1f} ms"
+    )
 
 
 if __name__ == "__main__":

@@ -21,8 +21,23 @@ Quick start::
     from repro import check_satisfiability, builtin_dtd
     result = check_satisfiability("descendant::a[ancestor::a]", builtin_dtd("xhtml"))
     print(result.holds, result.counterexample)
+
+For batches of queries, prefer the caching façade of :mod:`repro.api`::
+
+    from repro import Query, StaticAnalyzer
+    report = StaticAnalyzer().solve_many([
+        Query.containment("child::a[b]", "child::a"),
+        Query.emptiness("child::title/child::meta", "wikipedia"),
+    ])
 """
 
+from repro.api import (
+    AnalysisOutcome,
+    BatchReport,
+    Query,
+    StaticAnalyzer,
+    solve_many,
+)
 from repro.analysis import (
     AnalysisResult,
     Analyzer,
@@ -51,6 +66,11 @@ from repro.xpath.semantics import select
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisOutcome",
+    "BatchReport",
+    "Query",
+    "StaticAnalyzer",
+    "solve_many",
     "AnalysisResult",
     "Analyzer",
     "check_containment",

@@ -1,0 +1,510 @@
+"""Stable batch façade over the static analyzer: ``repro.api``.
+
+This module is the recommended entry point for programs that issue *many*
+decision problems — a schema-aware editor validating every XPath expression in
+a stylesheet, a query optimiser probing containment between rewrite
+candidates, a service answering analysis requests over the same few schemas.
+It wraps the problem reductions of :mod:`repro.analysis` behind three layers
+of memoisation so that work is shared across an entire workload instead of
+being redone per call:
+
+1. **Type-translation cache** — compiling a DTD to its Lµ formula
+   (Section 5.2 of the paper) is pure and depends only on the type, so each
+   distinct type is translated once per analyzer.
+2. **Query-translation cache** — likewise for the XPath-to-Lµ translation
+   (Section 5.1), keyed by ``(expression, type)``.
+3. **Solve cache** — Lµ formulas are hash-consed (:mod:`repro.logic.syntax`),
+   so two problems that reduce to the same logical formula are *the same
+   satisfiability question*; the solver runs once per distinct formula and
+   every later occurrence is answered from cache.  This is where batch
+   workloads win: containment, emptiness and equivalence checks over the same
+   schema keep meeting the same sub-translations and often the same formulas.
+
+Results are plain data: every :class:`AnalysisOutcome` (and the
+:class:`BatchReport` returned by :meth:`StaticAnalyzer.solve_many`) converts
+to JSON-compatible dictionaries via ``as_dict()`` / ``to_json()``, including
+the solver statistics of :class:`repro.solver.symbolic.SolverStatistics` and a
+serialized counterexample document when one exists.
+
+Quickstart::
+
+    from repro.api import Query, StaticAnalyzer
+
+    analyzer = StaticAnalyzer()
+    report = analyzer.solve_many([
+        Query.containment("child::a[b]", "child::a"),
+        Query.satisfiability("descendant::a[ancestor::a]", "xhtml-core"),
+        Query.emptiness("child::title/child::meta", "wikipedia"),
+    ])
+    for outcome in report.outcomes:
+        print(outcome.problem, outcome.holds)
+    print(report.to_json())
+
+XML types may be given as built-in schema names (``"smil"``, ``"xhtml"``,
+``"xhtml-core"``, ``"wikipedia"``), parsed :class:`repro.xmltypes.dtd.DTD`
+objects, binary type grammars, raw Lµ formulas, or ``None`` for "any tree".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.logic import syntax as sx
+from repro.logic.negation import negate
+from repro.solver.symbolic import SolverResult, SymbolicSolver
+from repro.trees.unranked import serialize_tree
+from repro.xmltypes.ast import BinaryTypeGrammar
+from repro.xmltypes.compile import compile_dtd, compile_grammar
+from repro.xmltypes.dtd import DTD
+from repro.xmltypes.library import builtin_dtd
+from repro.xpath import ast as xp
+from repro.xpath.compile import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+#: Query kinds accepted by :class:`Query` / :meth:`StaticAnalyzer.solve_many`.
+KINDS = (
+    "satisfiability",
+    "emptiness",
+    "containment",
+    "equivalence",
+    "overlap",
+    "coverage",
+    "type_inclusion",
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One decision problem, as plain data (JSON-able via :meth:`as_dict`).
+
+    Use the factory classmethods rather than the constructor; they document
+    which fields each kind uses.  ``exprs`` holds the XPath expressions
+    involved (the subject first) and ``types`` the matching tree-type
+    constraints (``None`` entries mean "any tree").
+    """
+
+    kind: str
+    exprs: tuple[str, ...]
+    types: tuple[object, ...] = ()
+
+    #: Required (exprs, types) arities per kind; ``None`` means "one or more
+    #: expressions, with exactly one type each" (coverage).
+    _ARITIES = {
+        "satisfiability": (1, 1),
+        "emptiness": (1, 1),
+        "containment": (2, 2),
+        "equivalence": (2, 2),
+        "overlap": (2, 2),
+        "coverage": None,
+        "type_inclusion": (1, 2),
+    }
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown query kind {self.kind!r}; expected one of {KINDS}")
+        arity = self._ARITIES[self.kind]
+        if arity is None:
+            if not self.exprs or len(self.types) != len(self.exprs):
+                raise ValueError(
+                    f"{self.kind} takes one or more expressions with one type "
+                    f"each; got {len(self.exprs)} expressions and "
+                    f"{len(self.types)} types"
+                )
+        elif (len(self.exprs), len(self.types)) != arity:
+            raise ValueError(
+                f"{self.kind} takes {arity[0]} expression(s) and {arity[1]} "
+                f"type(s); got {len(self.exprs)} and {len(self.types)}"
+            )
+
+    # -- factories ---------------------------------------------------------------
+
+    @classmethod
+    def satisfiability(cls, expr: str, xml_type: object = None) -> "Query":
+        """Can ``expr`` select at least one node in a document of ``xml_type``?"""
+        return cls("satisfiability", (expr,), (xml_type,))
+
+    @classmethod
+    def emptiness(cls, expr: str, xml_type: object = None) -> "Query":
+        """Is ``expr`` empty on every document of ``xml_type``?"""
+        return cls("emptiness", (expr,), (xml_type,))
+
+    @classmethod
+    def containment(
+        cls, expr1: str, expr2: str, type1: object = None, type2: object = None
+    ) -> "Query":
+        """Is every node selected by ``expr1`` also selected by ``expr2``?"""
+        return cls("containment", (expr1, expr2), (type1, type2))
+
+    @classmethod
+    def equivalence(
+        cls, expr1: str, expr2: str, type1: object = None, type2: object = None
+    ) -> "Query":
+        """Containment in both directions."""
+        return cls("equivalence", (expr1, expr2), (type1, type2))
+
+    @classmethod
+    def overlap(
+        cls, expr1: str, expr2: str, type1: object = None, type2: object = None
+    ) -> "Query":
+        """Can the two expressions select a common node?"""
+        return cls("overlap", (expr1, expr2), (type1, type2))
+
+    @classmethod
+    def coverage(
+        cls,
+        expr: str,
+        covering: Sequence[str],
+        xml_type: object = None,
+        covering_types: Sequence[object] | None = None,
+    ) -> "Query":
+        """Is every node selected by ``expr`` selected by one of ``covering``?"""
+        others = tuple(covering)
+        other_types = (
+            tuple(covering_types) if covering_types is not None else (None,) * len(others)
+        )
+        # Arity (one type per covering expression) is enforced by __post_init__.
+        return cls("coverage", (expr,) + others, (xml_type,) + other_types)
+
+    @classmethod
+    def type_inclusion(cls, expr: str, input_type: object, output_type: object) -> "Query":
+        """Does every node ``expr`` selects under ``input_type`` root a subtree
+        of ``output_type``?"""
+        return cls("type_inclusion", (expr,), (input_type, output_type))
+
+    # -- serialisation -----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "exprs": list(self.exprs),
+            "types": [_describe_type(t) for t in self.types],
+        }
+
+
+def _describe_type(xml_type: object) -> str | None:
+    if xml_type is None:
+        return None
+    if isinstance(xml_type, str):
+        return xml_type
+    if isinstance(xml_type, DTD):
+        return xml_type.name
+    if isinstance(xml_type, BinaryTypeGrammar):
+        return "grammar"
+    if isinstance(xml_type, sx.Formula):
+        return "formula"
+    return type(xml_type).__name__
+
+
+@dataclass
+class AnalysisOutcome:
+    """Outcome of one :class:`Query`, as structured JSON-able data.
+
+    ``holds`` answers the question the query asked; ``satisfiable`` reports
+    the verdict of the underlying satisfiability test (they differ for the
+    "negative" problems: containment holds iff its formula is unsatisfiable).
+    ``from_cache`` is True when the verdict was answered from the analyzer's
+    solve cache without running the solver.
+    """
+
+    query: Query
+    problem: str
+    holds: bool
+    satisfiable: bool
+    from_cache: bool
+    solve_seconds: float
+    statistics: dict
+    counterexample: str | None = None
+    #: For equivalence queries: the two directed containment outcomes.
+    parts: list["AnalysisOutcome"] = field(default_factory=list)
+
+    @property
+    def time_ms(self) -> float:
+        """Solver running time in milliseconds (as reported in Table 2)."""
+        return 1000.0 * self.solve_seconds
+
+    def as_dict(self) -> dict:
+        result = {
+            "query": self.query.as_dict(),
+            "problem": self.problem,
+            "holds": self.holds,
+            "satisfiable": self.satisfiable,
+            "from_cache": self.from_cache,
+            "solve_seconds": round(self.solve_seconds, 6),
+            "statistics": self.statistics,
+            "counterexample": self.counterexample,
+        }
+        if self.parts:
+            result["parts"] = [part.as_dict() for part in self.parts]
+        return result
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.as_dict(), **kwargs)
+
+
+@dataclass
+class BatchReport:
+    """The outcomes of a :meth:`StaticAnalyzer.solve_many` run plus totals."""
+
+    outcomes: list[AnalysisOutcome]
+    total_seconds: float
+    solver_runs: int
+    cache_hits: int
+
+    def as_dict(self) -> dict:
+        return {
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+            "total_seconds": round(self.total_seconds, 6),
+            "solver_runs": self.solver_runs,
+            "cache_hits": self.cache_hits,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.as_dict(), **kwargs)
+
+
+class StaticAnalyzer:
+    """Caching façade over the decision problems of Section 8.
+
+    Construction options mirror :class:`repro.solver.symbolic.SymbolicSolver`
+    (they are forwarded to every solver run).  All methods are pure with
+    respect to the caches: a cached answer is always the answer the solver
+    would produce — the solve cache is keyed by the (hash-consed) Lµ formula,
+    the translation caches by the expression/type pair they translate.
+    """
+
+    def __init__(
+        self,
+        early_quantification: bool = True,
+        monolithic_relation: bool = False,
+        interleaved_order: bool = True,
+        track_marks: bool = True,
+    ):
+        self.early_quantification = early_quantification
+        self.monolithic_relation = monolithic_relation
+        self.interleaved_order = interleaved_order
+        self.track_marks = track_marks
+        # (type key, constrain_siblings) -> compiled type formula.
+        self._type_cache: dict[tuple, sx.Formula] = {}
+        # (expression text, type key) -> compiled query formula.
+        self._query_cache: dict[tuple, sx.Formula] = {}
+        # Lµ formula (hash-consed, so identity == structure) -> SolverResult.
+        self._solve_cache: dict[sx.Formula, SolverResult] = {}
+        # Strong references keeping id()-keyed type objects alive (one entry
+        # per distinct object, tracked via _pinned_ids).
+        self._type_refs: list[object] = []
+        self._pinned_ids: set[int] = set()
+        self.solver_runs = 0
+        self.solve_cache_hits = 0
+
+    # -- caching layers ----------------------------------------------------------
+
+    def _resolve_type(self, xml_type: object) -> object:
+        return builtin_dtd(xml_type) if isinstance(xml_type, str) else xml_type
+
+    def _type_key(self, xml_type: object) -> object:
+        if xml_type is None:
+            return None
+        if isinstance(xml_type, str):
+            return ("builtin", xml_type)
+        if isinstance(xml_type, sx.Formula):
+            return ("formula", xml_type)
+        # DTDs and grammars are mutable containers: key by identity and pin a
+        # reference so the id cannot be recycled while the cache lives.
+        if id(xml_type) not in self._pinned_ids:
+            self._pinned_ids.add(id(xml_type))
+            self._type_refs.append(xml_type)
+        return ("object", id(xml_type))
+
+    def type_formula(self, xml_type: object, constrain_siblings: bool = True) -> sx.Formula:
+        """The (cached) Lµ translation of a type constraint (⊤ for ``None``)."""
+        key = (self._type_key(xml_type), constrain_siblings)
+        cached = self._type_cache.get(key)
+        if cached is not None:
+            return cached
+        resolved = self._resolve_type(xml_type)
+        if resolved is None:
+            formula = sx.TRUE
+        elif isinstance(resolved, sx.Formula):
+            formula = resolved
+        elif isinstance(resolved, DTD):
+            formula = compile_dtd(resolved, constrain_siblings=constrain_siblings)
+        elif isinstance(resolved, BinaryTypeGrammar):
+            formula = compile_grammar(resolved, constrain_siblings=constrain_siblings)
+        else:
+            raise TypeError(f"unsupported type constraint {resolved!r}")
+        self._type_cache[key] = formula
+        return formula
+
+    def query_formula(self, expr: str | xp.Expr, xml_type: object = None) -> sx.Formula:
+        """The (cached) Lµ translation ``E→[[expr]]([[xml_type]])``."""
+        if not isinstance(expr, str):
+            # Pre-parsed expressions are not cacheable by text; translate only.
+            return compile_xpath(expr, self.type_formula(xml_type))
+        key = (expr, self._type_key(xml_type))
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            return cached
+        formula = compile_xpath(parse_xpath(expr), self.type_formula(xml_type))
+        self._query_cache[key] = formula
+        return formula
+
+    def _solve(self, formula: sx.Formula) -> tuple[SolverResult, bool]:
+        """Solve a formula, answering from the solve cache when possible."""
+        cached = self._solve_cache.get(formula)
+        if cached is not None:
+            self.solve_cache_hits += 1
+            return cached, True
+        solver = SymbolicSolver(
+            formula,
+            early_quantification=self.early_quantification,
+            monolithic_relation=self.monolithic_relation,
+            interleaved_order=self.interleaved_order,
+            track_marks=self.track_marks,
+        )
+        result = solver.solve()
+        self.solver_runs += 1
+        self._solve_cache[formula] = result
+        return result, False
+
+    def clear_caches(self) -> None:
+        """Drop every cached translation and solver verdict."""
+        self._type_cache.clear()
+        self._query_cache.clear()
+        self._solve_cache.clear()
+        self._type_refs.clear()
+        self._pinned_ids.clear()
+
+    def cache_statistics(self) -> dict[str, int]:
+        return {
+            "type_cache_entries": len(self._type_cache),
+            "query_cache_entries": len(self._query_cache),
+            "solve_cache_entries": len(self._solve_cache),
+            "solver_runs": self.solver_runs,
+            "solve_cache_hits": self.solve_cache_hits,
+        }
+
+    # -- single queries ----------------------------------------------------------
+
+    def solve(self, query: Query) -> AnalysisOutcome:
+        """Answer one query (cached); see :class:`Query` for the kinds."""
+        kind = query.kind
+        if kind == "equivalence":
+            return self._equivalence(query)
+        formula, problem, positive = self._reduce(query)
+        result, hit = self._solve(formula)
+        return self._outcome(query, problem, result, hit, positive)
+
+    def _reduce(self, query: Query) -> tuple[sx.Formula, str, bool]:
+        """Reduce a (non-equivalence) query to one satisfiability question.
+
+        Returns ``(formula, problem description, positive)`` where ``positive``
+        tells whether the property *holds* when the formula is satisfiable
+        (satisfiability, overlap) or when it is unsatisfiable (the rest).
+        """
+        kind, exprs, types = query.kind, query.exprs, query.types
+        if kind == "satisfiability":
+            return (
+                self.query_formula(exprs[0], types[0]),
+                f"satisfiability of {exprs[0]}",
+                True,
+            )
+        if kind == "emptiness":
+            return (
+                self.query_formula(exprs[0], types[0]),
+                f"emptiness of {exprs[0]}",
+                False,
+            )
+        if kind == "containment":
+            formula = sx.mk_and(
+                self.query_formula(exprs[0], types[0]),
+                negate(self.query_formula(exprs[1], types[1])),
+            )
+            return formula, f"containment {exprs[0]} ⊆ {exprs[1]}", False
+        if kind == "overlap":
+            formula = sx.mk_and(
+                self.query_formula(exprs[0], types[0]),
+                self.query_formula(exprs[1], types[1]),
+            )
+            return formula, f"overlap of {exprs[0]} and {exprs[1]}", True
+        if kind == "coverage":
+            formula = self.query_formula(exprs[0], types[0])
+            for other, other_type in zip(exprs[1:], types[1:]):
+                formula = sx.mk_and(formula, negate(self.query_formula(other, other_type)))
+            return formula, f"coverage of {exprs[0]} by {len(exprs) - 1} expressions", False
+        if kind == "type_inclusion":
+            formula = sx.mk_and(
+                self.query_formula(exprs[0], types[0]),
+                negate(self.type_formula(types[1], constrain_siblings=False)),
+            )
+            return formula, f"type inclusion of {exprs[0]}", False
+        raise ValueError(f"unknown query kind {kind!r}")  # pragma: no cover
+
+    def _equivalence(self, query: Query) -> AnalysisOutcome:
+        expr1, expr2 = query.exprs
+        type1, type2 = query.types
+        forward = self.solve(Query.containment(expr1, expr2, type1, type2))
+        backward = self.solve(Query.containment(expr2, expr1, type2, type1))
+        failed = forward if not forward.holds else backward
+        return AnalysisOutcome(
+            query=query,
+            problem=f"equivalence {expr1} ≡ {expr2}",
+            holds=forward.holds and backward.holds,
+            satisfiable=failed.satisfiable,
+            from_cache=forward.from_cache and backward.from_cache,
+            solve_seconds=forward.solve_seconds + backward.solve_seconds,
+            statistics={
+                "forward": forward.statistics,
+                "backward": backward.statistics,
+            },
+            counterexample=failed.counterexample,
+            parts=[forward, backward],
+        )
+
+    def _outcome(
+        self,
+        query: Query,
+        problem: str,
+        result: SolverResult,
+        from_cache: bool,
+        positive: bool,
+    ) -> AnalysisOutcome:
+        document = result.model_document()
+        return AnalysisOutcome(
+            query=query,
+            problem=problem,
+            holds=result.satisfiable if positive else not result.satisfiable,
+            satisfiable=result.satisfiable,
+            from_cache=from_cache,
+            solve_seconds=0.0 if from_cache else result.statistics.solve_seconds,
+            statistics=result.statistics.as_dict(),
+            counterexample=None if document is None else serialize_tree(document),
+        )
+
+    # -- batch -------------------------------------------------------------------
+
+    def solve_many(self, queries: Iterable[Query]) -> BatchReport:
+        """Answer a batch of queries, amortising translations and solves.
+
+        Queries over the same schema share its type translation; queries that
+        reduce to the same Lµ formula (duplicates, or e.g. a containment that
+        an equivalence in the batch already checked) share one solver run.
+        The returned :class:`BatchReport` records how much was shared.
+        """
+        runs_before = self.solver_runs
+        hits_before = self.solve_cache_hits
+        started = time.perf_counter()
+        outcomes = [self.solve(query) for query in queries]
+        return BatchReport(
+            outcomes=outcomes,
+            total_seconds=time.perf_counter() - started,
+            solver_runs=self.solver_runs - runs_before,
+            cache_hits=self.solve_cache_hits - hits_before,
+        )
+
+
+def solve_many(queries: Iterable[Query], **options) -> BatchReport:
+    """One-shot batch entry point (a fresh :class:`StaticAnalyzer` per call)."""
+    return StaticAnalyzer(**options).solve_many(queries)

@@ -8,6 +8,19 @@ for the variable being false and ``high`` for it being true.  The standard
 reduction rules apply: no node with ``low == high``, and no two distinct nodes
 with the same triple.
 
+Because the node table is append-only (until :meth:`BDDManager.garbage_collect`
+runs), a node's children always have smaller indices than the node itself —
+several algorithms below rely on this for bottom-up passes.
+
+Operation caching follows the classical computed-table design [Brace, Rudell &
+Bryant, DAC'90]: every :meth:`BDDManager.ite` call is normalised to a
+*canonical* triple first (constant-argument simplifications, then argument
+swaps for the commutative ``∧``/``∨`` shapes), so equivalent calls share one
+cache entry.  Negation has a dedicated two-way cache, and the renaming used
+for the solver's primed/unprimed vectors takes a linear structural fast path
+whenever the mapping preserves the variable order.  :meth:`BDDManager.statistics`
+exposes the node-table and cache counters the benchmarks report.
+
 The :class:`BDD` wrapper pairs a node id with its manager and provides
 operator overloading (``&``, ``|``, ``~``, ...) so client code reads like the
 boolean formulas of Section 7.
@@ -15,7 +28,43 @@ boolean formulas of Section 7.
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
+
+
+@dataclass
+class BDDStatistics:
+    """A snapshot of the manager's node-table and cache counters.
+
+    * ``var_count`` / ``node_count`` — declared variables and live internal
+      nodes (terminals excluded); ``peak_node_count`` is the largest the table
+      has ever been (it only decreases via :meth:`BDDManager.garbage_collect`).
+    * ``ite_calls`` / ``ite_cache_hits`` — top-level *and* recursive ternary
+      operations, and how many were answered from the computed table.
+    * ``neg_calls`` / ``neg_cache_hits`` — negations and negation-cache hits
+      (the cache stores both directions, so ``¬¬f`` is always a hit).
+    * ``rename_fast_paths`` — renamings that took the linear structural path
+      because the mapping preserved the variable order.
+    * ``cache_entries`` — total entries across every operation cache.
+    * ``gc_runs`` / ``nodes_reclaimed`` — garbage collections performed and
+      nodes dropped by them.
+    """
+
+    var_count: int = 0
+    node_count: int = 0
+    peak_node_count: int = 0
+    ite_calls: int = 0
+    ite_cache_hits: int = 0
+    neg_calls: int = 0
+    neg_cache_hits: int = 0
+    rename_fast_paths: int = 0
+    cache_entries: int = 0
+    gc_runs: int = 0
+    nodes_reclaimed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
 
 
 class BDDManager:
@@ -30,9 +79,21 @@ class BDDManager:
         self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._neg_cache: dict[int, int] = {}
         self._quant_cache: dict[tuple, int] = {}
+        self._rename_cache: dict[tuple, int] = {}
+        self._restrict_cache: dict[tuple, int] = {}
         self._var_names: list[str] = []
         self._var_levels: dict[str, int] = {}
+        # Counters behind ``statistics()``.
+        self._ite_calls = 0
+        self._ite_hits = 0
+        self._neg_calls = 0
+        self._neg_hits = 0
+        self._rename_fast = 0
+        self._peak_nodes = 0
+        self._gc_runs = 0
+        self._reclaimed = 0
         for name in variables:
             self.add_variable(name)
 
@@ -64,6 +125,90 @@ class BDDManager:
         """Total number of live nodes in the table (terminals excluded)."""
         return len(self._nodes) - 2
 
+    # -- statistics and cache management --------------------------------------
+
+    def statistics(self) -> BDDStatistics:
+        """A snapshot of the node-table and operation-cache counters."""
+        return BDDStatistics(
+            var_count=len(self._var_names),
+            node_count=self.node_count(),
+            peak_node_count=max(self._peak_nodes, self.node_count()),
+            ite_calls=self._ite_calls,
+            ite_cache_hits=self._ite_hits,
+            neg_calls=self._neg_calls,
+            neg_cache_hits=self._neg_hits,
+            rename_fast_paths=self._rename_fast,
+            cache_entries=(
+                len(self._ite_cache)
+                + len(self._neg_cache)
+                + len(self._quant_cache)
+                + len(self._rename_cache)
+                + len(self._restrict_cache)
+            ),
+            gc_runs=self._gc_runs,
+            nodes_reclaimed=self._reclaimed,
+        )
+
+    def clear_caches(self) -> None:
+        """Drop every operation cache (the node table is untouched).
+
+        Useful between unrelated workloads sharing one manager: results stay
+        valid (node ids are stable), only memoisation is lost.
+        """
+        self._ite_cache.clear()
+        self._neg_cache.clear()
+        self._quant_cache.clear()
+        self._rename_cache.clear()
+        self._restrict_cache.clear()
+
+    def garbage_collect(self, roots: Iterable[int]) -> dict[int, int]:
+        """Rebuild the node table keeping only nodes reachable from ``roots``.
+
+        Returns the relocation map ``old id -> new id`` for every surviving
+        node (terminals map to themselves).  **All other node ids become
+        invalid**, as do outstanding :class:`BDD` wrappers not covered by the
+        map, and every operation cache is cleared; callers must translate the
+        ids they intend to keep.  Only the manager's own caches are cleared:
+        any *external* structure that memoises node ids (for example the
+        product caches of :class:`repro.solver.relations.TransitionRelation`)
+        must be discarded by the caller, so collect only between workloads,
+        never while such structures are live.
+        """
+        reachable: set[int] = set()
+        stack = [root for root in roots]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in reachable:
+                continue
+            reachable.add(current)
+            _level, low, high = self._nodes[current]
+            stack.append(low)
+            stack.append(high)
+
+        old_nodes = self._nodes
+        old_count = self.node_count()
+        remap = {self.FALSE: self.FALSE, self.TRUE: self.TRUE}
+        new_nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        new_unique: dict[tuple[int, int, int], int] = {}
+        # Children always precede parents in the table, so one ascending pass
+        # can relocate bottom-up.
+        for index in range(2, len(old_nodes)):
+            if index not in reachable:
+                continue
+            level, low, high = old_nodes[index]
+            triple = (level, remap[low], remap[high])
+            new_index = len(new_nodes)
+            new_nodes.append(triple)
+            new_unique[triple] = new_index
+            remap[index] = new_index
+
+        self._nodes = new_nodes
+        self._unique = new_unique
+        self.clear_caches()
+        self._gc_runs += 1
+        self._reclaimed += old_count - self.node_count()
+        return remap
+
     # -- raw node constructors ------------------------------------------------
 
     def _mk(self, level: int, low: int, high: int) -> int:
@@ -76,6 +221,8 @@ class BDDManager:
         index = len(self._nodes)
         self._nodes.append(key)
         self._unique[key] = index
+        if index - 1 > self._peak_nodes:
+            self._peak_nodes = index - 1
         return index
 
     def var_node(self, name: str) -> int:
@@ -91,16 +238,10 @@ class BDDManager:
             return len(self._var_names)  # terminals sit below every variable
         return self._nodes[node][0]
 
-    def _cofactors(self, node: int, level: int) -> tuple[int, int]:
-        if node <= 1 or self._nodes[node][0] != level:
-            return node, node
-        _lvl, low, high = self._nodes[node]
-        return low, high
-
     # -- core operations -------------------------------------------------------
 
-    def ite(self, cond: int, then: int, other: int) -> int:
-        """If-then-else: ``(cond ∧ then) ∨ (¬cond ∧ other)``."""
+    def _ite_shortcut(self, cond: int, then: int, other: int) -> int | None:
+        """Terminal cases of ITE, or ``None`` when real work remains."""
         if cond == self.TRUE:
             return then
         if cond == self.FALSE:
@@ -109,22 +250,125 @@ class BDDManager:
             return then
         if then == self.TRUE and other == self.FALSE:
             return cond
-        key = (cond, then, other)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level(cond), self._level(then), self._level(other))
-        cond_low, cond_high = self._cofactors(cond, level)
-        then_low, then_high = self._cofactors(then, level)
-        other_low, other_high = self._cofactors(other, level)
-        low = self.ite(cond_low, then_low, other_low)
-        high = self.ite(cond_high, then_high, other_high)
-        result = self._mk(level, low, high)
-        self._ite_cache[key] = result
-        return result
+        if then == self.FALSE and other == self.TRUE:
+            return self.neg(cond)
+        return None
+
+    @staticmethod
+    def _ite_key(cond: int, then: int, other: int) -> tuple[int, int, int]:
+        """Canonical computed-table key for a non-terminal ITE triple.
+
+        The two commutative shapes are normalised so the smaller operand id
+        comes first: ``ite(f, 1, h) = f ∨ h = ite(h, 1, f)`` and
+        ``ite(f, g, 0) = f ∧ g = ite(g, f, 0)``.  Conjunction and disjunction
+        issued with swapped operands therefore share one cache entry.
+        """
+        if then == BDDManager.TRUE and other > cond:
+            return (other, BDDManager.TRUE, cond)
+        if other == BDDManager.FALSE and then > cond:
+            return (then, cond, BDDManager.FALSE)
+        return (cond, then, other)
+
+    def ite(self, cond: int, then: int, other: int) -> int:
+        """If-then-else ``(cond ∧ then) ∨ (¬cond ∧ other)``, iteratively.
+
+        The classical recursive cofactor expansion is run on an explicit
+        two-phase stack (``CALL`` frames expand a triple, ``BUILD`` frames pop
+        the two child results and hash-cons the node), so deeply nested
+        formulas never hit the Python recursion limit and every intermediate
+        triple goes through the canonical computed table.
+        """
+        CALL, BUILD = 0, 1
+        tasks: list[tuple] = [(CALL, cond, then, other)]
+        values: list[int] = []
+        nodes = self._nodes
+        terminal_level = len(self._var_names)
+        while tasks:
+            task = tasks.pop()
+            if task[0] == CALL:
+                _tag, f, g, h = task
+                self._ite_calls += 1
+                # Redundant-argument simplifications: ite(f, f, h) = ite(f, 1, h)
+                # and ite(f, g, f) = ite(f, g, 0).
+                if g == f:
+                    g = self.TRUE
+                if h == f:
+                    h = self.FALSE
+                shortcut = self._ite_shortcut(f, g, h)
+                if shortcut is not None:
+                    values.append(shortcut)
+                    continue
+                key = self._ite_key(f, g, h)
+                cached = self._ite_cache.get(key)
+                if cached is not None:
+                    self._ite_hits += 1
+                    values.append(cached)
+                    continue
+                f, g, h = key
+                f_level = nodes[f][0] if f > 1 else terminal_level
+                g_level = nodes[g][0] if g > 1 else terminal_level
+                h_level = nodes[h][0] if h > 1 else terminal_level
+                level = min(f_level, g_level, h_level)
+                if f_level == level:
+                    _l, f_low, f_high = nodes[f]
+                else:
+                    f_low = f_high = f
+                if g_level == level:
+                    _l, g_low, g_high = nodes[g]
+                else:
+                    g_low = g_high = g
+                if h_level == level:
+                    _l, h_low, h_high = nodes[h]
+                else:
+                    h_low = h_high = h
+                tasks.append((BUILD, level, key))
+                tasks.append((CALL, f_high, g_high, h_high))
+                tasks.append((CALL, f_low, g_low, h_low))
+            else:
+                _tag, level, key = task
+                high = values.pop()
+                low = values.pop()
+                result = self._mk(level, low, high)
+                self._ite_cache[key] = result
+                values.append(result)
+        return values[0]
 
     def neg(self, node: int) -> int:
-        return self.ite(node, self.FALSE, self.TRUE)
+        """Negation through a dedicated two-way complement cache.
+
+        The cache records ``f -> ¬f`` in both directions, so double negation
+        and the extremely common ``¬`` of an already-negated function are O(1).
+        The traversal is a bottom-up structural pass (no ITE involved).
+        """
+        self._neg_calls += 1
+        if node <= 1:
+            return node ^ 1
+        cache = self._neg_cache
+        cached = cache.get(node)
+        if cached is not None:
+            self._neg_hits += 1
+            return cached
+        nodes = self._nodes
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current in cache:
+                stack.pop()
+                continue
+            _level, low, high = nodes[current]
+            missing = [
+                child for child in (high, low) if child > 1 and child not in cache
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            neg_low = low ^ 1 if low <= 1 else cache[low]
+            neg_high = high ^ 1 if high <= 1 else cache[high]
+            result = self._mk(_level, neg_low, neg_high)
+            cache[current] = result
+            cache[result] = current
+        return cache[node]
 
     def conj(self, a: int, b: int) -> int:
         return self.ite(a, b, self.FALSE)
@@ -230,19 +474,82 @@ class BDDManager:
         cache[key] = result
         return result
 
+    def _cofactors(self, node: int, level: int) -> tuple[int, int]:
+        if node <= 1 or self._nodes[node][0] != level:
+            return node, node
+        _lvl, low, high = self._nodes[node]
+        return low, high
+
     # -- substitution / renaming ----------------------------------------------
 
     def rename(self, node: int, mapping: Mapping[str, str]) -> int:
         """Rename variables according to ``mapping`` (old name -> new name).
 
-        Implemented by composing with fresh literals through ``ite``, which is
-        correct for any mapping; it is cheap when the mapping preserves the
-        relative order of the variables (as the solver's interleaved x/y
-        vectors do).
+        When the mapping preserves the relative order of the variables that
+        actually occur in ``node`` (as the solver's interleaved x/y vectors
+        do), the result is built by a linear structural pass.  Otherwise the
+        general (and much slower) composition with fresh literals through
+        ``ite`` is used, which is correct for any mapping.  Results are
+        memoised per ``(node, mapping)``.
         """
+        if node <= 1 or not mapping:
+            return node
+        items = tuple(sorted(mapping.items()))
+        memo_key = (node, items)
+        memoised = self._rename_cache.get(memo_key)
+        if memoised is not None:
+            return memoised
         level_map = {
             self._var_levels[old]: self._var_levels[new] for old, new in mapping.items()
         }
+        support = self._support_levels(node)
+        images = [level_map.get(level, level) for level in sorted(support)]
+        monotone = all(a < b for a, b in zip(images, images[1:]))
+        if monotone:
+            self._rename_fast += 1
+            result = self._rename_structural(node, level_map)
+        else:
+            result = self._rename_general(node, level_map)
+        self._rename_cache[memo_key] = result
+        return result
+
+    def _support_levels(self, node: int) -> set[int]:
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            level, low, high = self._nodes[current]
+            levels.add(level)
+            stack.append(low)
+            stack.append(high)
+        return levels
+
+    def _rename_structural(self, node: int, level_map: Mapping[int, int]) -> int:
+        """Order-preserving rename: rebuild bottom-up, relabelling levels."""
+        cache: dict[int, int] = {}
+        nodes = self._nodes
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current <= 1 or current in cache:
+                stack.pop()
+                continue
+            level, low, high = nodes[current]
+            missing = [c for c in (high, low) if c > 1 and c not in cache]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            new_low = low if low <= 1 else cache[low]
+            new_high = high if high <= 1 else cache[high]
+            cache[current] = self._mk(level_map.get(level, level), new_low, new_high)
+        return node if node <= 1 else cache[node]
+
+    def _rename_general(self, node: int, level_map: Mapping[int, int]) -> int:
         cache: dict[int, int] = {}
 
         def go(current: int) -> int:
@@ -261,7 +568,20 @@ class BDDManager:
         return go(node)
 
     def restrict(self, node: int, assignment: Mapping[str, bool]) -> int:
-        """Cofactor with respect to a partial assignment."""
+        """Cofactor with respect to a partial assignment.
+
+        ``restrict(f, {v: b, ...})`` is ``f`` with each variable ``v`` fixed
+        to ``b`` — the generalised cofactor the relational layer uses to
+        specialise a relation to a concrete parent type.  Results are memoised
+        per ``(node, assignment)`` across calls.
+        """
+        if node <= 1 or not assignment:
+            return node
+        items = tuple(sorted(assignment.items()))
+        memo_key = (node, items)
+        memoised = self._restrict_cache.get(memo_key)
+        if memoised is not None:
+            return memoised
         values = {self._var_levels[name]: value for name, value in assignment.items()}
         cache: dict[int, int] = {}
 
@@ -279,7 +599,13 @@ class BDDManager:
             cache[current] = result
             return result
 
-        return go(node)
+        result = go(node)
+        self._restrict_cache[memo_key] = result
+        return result
+
+    def cofactor(self, node: int, name: str, value: bool) -> int:
+        """Single-variable cofactor ``f|_{name=value}`` (see :meth:`restrict`)."""
+        return self.restrict(node, {name: value})
 
     # -- inspection -------------------------------------------------------------
 
@@ -293,19 +619,7 @@ class BDDManager:
 
     def support(self, node: int) -> set[str]:
         """Names of the variables the function actually depends on."""
-        seen: set[int] = set()
-        levels: set[int] = set()
-        stack = [node]
-        while stack:
-            current = stack.pop()
-            if current <= 1 or current in seen:
-                continue
-            seen.add(current)
-            level, low, high = self._nodes[current]
-            levels.add(level)
-            stack.append(low)
-            stack.append(high)
-        return {self._var_names[level] for level in levels}
+        return {self._var_names[level] for level in self._support_levels(node)}
 
     def dag_size(self, node: int) -> int:
         """Number of internal nodes reachable from ``node``."""
@@ -479,6 +793,9 @@ class BDD:
 
     def restrict(self, assignment: Mapping[str, bool]) -> "BDD":
         return BDD(self.manager, self.manager.restrict(self.node, assignment))
+
+    def cofactor(self, name: str, value: bool) -> "BDD":
+        return BDD(self.manager, self.manager.cofactor(self.node, name, value))
 
     # -- inspection ---------------------------------------------------------------
 

@@ -106,9 +106,9 @@ def _choose_mark_branch(
     for program in (1, 2):
         if not bits.get(encoding.top_index(program), False):
             continue
-        constraint = relations[program].child_constraint(bits)
+        parts = relations[program].child_constraint_parts(bits)
         for _unmarked, marked in snapshots:
-            if not (marked & constraint).is_false:
+            if not _intersect_all(marked, parts).is_false:
                 return program
     raise ValueError(
         "inconsistent solver state: a marked subtree has no marked branch; "
@@ -123,9 +123,9 @@ def _find_child(
     bits: dict[int, bool],
     want_marked: bool,
 ) -> dict[int, bool]:
-    constraint = relation.child_constraint(bits)
+    parts = relation.child_constraint_parts(bits)
     for unmarked, marked in snapshots:
-        candidates = (marked if want_marked else unmarked) & constraint
+        candidates = _intersect_all(marked if want_marked else unmarked, parts)
         if not candidates.is_false:
             assignment = candidates.pick_assignment()
             assert assignment is not None
@@ -134,3 +134,17 @@ def _find_child(
         "inconsistent solver state: a proved type has no witness in any "
         "intermediate set; this indicates a bug in the update operation"
     )
+
+
+def _intersect_all(candidates: BDD, parts: list[BDD]) -> BDD:
+    """Conjoin the constraint parts into ``candidates``, bailing out on ⊥.
+
+    Conjoining part by part keeps every intermediate constrained by the
+    (small) set of proved types; building the conjunction of the parts first
+    can be exponentially larger (it is unconstrained by the solver's sets).
+    """
+    for part in parts:
+        candidates = candidates & part
+        if candidates.is_false:
+            break
+    return candidates

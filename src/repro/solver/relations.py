@@ -157,6 +157,20 @@ class _Partition:
     primed_support: frozenset[str]
 
 
+@dataclass
+class _ScheduleStep:
+    """One step of the precomputed early-quantification schedule.
+
+    ``block`` is the conjunction of the partitions grouped at this step (built
+    once, at relation-construction time) and ``eliminable`` the primed
+    variables that no later step mentions, so they can be quantified out as
+    soon as the block has been conjoined with the frontier.
+    """
+
+    block: BDD
+    eliminable: frozenset[str]
+
+
 class TransitionRelation:
     """The relation ∆ₐ of Definition 6.2 in partitioned (or monolithic) form.
 
@@ -164,6 +178,10 @@ class TransitionRelation:
     types ``x`` such that, *if* ``x`` claims an ``a``-child, a compatible
     witness exists in ``target``; ``witness_strict`` additionally requires the
     child to exist (used for propagating the start mark through a branch).
+    Both share one relational product per target: the product is cached by
+    the target's node id, so the fixpoint loop of :mod:`repro.solver.symbolic`
+    never recomputes it when a set is unchanged between iterations (or when
+    both the guarded and the strict witness of the same set are needed).
     """
 
     def __init__(
@@ -186,6 +204,15 @@ class TransitionRelation:
             for partition in self.partitions:
                 relation = relation & partition.function
             self._monolithic_relation = relation
+        self._schedule = (
+            self._build_schedule() if early_quantification and not monolithic else []
+        )
+        self._partition_primed: frozenset[str] = frozenset().union(
+            *(partition.primed_support for partition in self.partitions)
+        ) if self.partitions else frozenset()
+        self._product_cache: dict[int, BDD] = {}
+        self.product_calls = 0
+        self.product_cache_hits = 0
 
     def _build_partitions(self) -> list[_Partition]:
         encoding = self.encoding
@@ -207,11 +234,51 @@ class TransitionRelation:
             partitions.append(_Partition(function, primed_support))
         return partitions
 
+    def _build_schedule(self) -> list[_ScheduleStep]:
+        """Precompute the greedy elimination order of Section 7.3.
+
+        The greedy choice (repeatedly eliminate the primed variable with the
+        smallest total support over the partitions that still mention it) only
+        depends on the partitions, never on the frontier, so the grouping of
+        partitions into blocks — and the block conjunctions themselves — are
+        computed once here instead of on every relational product.  A variable
+        becomes eliminable at the first step after which no later block
+        mentions it; the frontier is pure-primed, so it blocks nothing.
+        """
+        remaining = list(self.partitions)
+        grouped: list[list[_Partition]] = []
+        while remaining:
+            costs: dict[str, int] = {}
+            for partition in remaining:
+                for name in partition.primed_support:
+                    costs[name] = costs.get(name, 0) + len(partition.primed_support)
+            if not costs:
+                grouped.append(remaining)
+                break
+            cheapest = min(costs, key=lambda name: (costs[name], name))
+            grouped.append([p for p in remaining if cheapest in p.primed_support])
+            remaining = [p for p in remaining if cheapest not in p.primed_support]
+
+        steps: list[_ScheduleStep] = []
+        seen_later: set[str] = set()
+        pending_steps: list[tuple[BDD, frozenset[str]]] = []
+        for group in grouped:
+            block = self.encoding.manager.true()
+            support: set[str] = set()
+            for partition in group:
+                block = block & partition.function
+                support |= partition.primed_support
+            pending_steps.append((block, frozenset(support)))
+        for block, support in reversed(pending_steps):
+            steps.append(_ScheduleStep(block, support - seen_later))
+            seen_later |= support
+        steps.reverse()
+        return steps
+
     # -- relational products -----------------------------------------------------------
 
     def _product(self, frontier_y: BDD) -> BDD:
         """``∃ y . frontier(y) ∧ ∆ₐ(x, y)`` with early quantification."""
-        manager = self.encoding.manager
         all_primed = set(self.encoding.y_names)
 
         if self.monolithic and self._monolithic_relation is not None:
@@ -223,63 +290,58 @@ class TransitionRelation:
                 conjunction = conjunction & partition.function
             return conjunction.exists(all_primed)
 
-        # Greedy elimination order (Section 7.3): repeatedly eliminate the
-        # primed variable with the smallest total support of the partitions
-        # that still mention it.
-        remaining = list(self.partitions)
         current = frontier_y
-        used_primed = set(frontier_y.support()) & all_primed
-        pending = all_primed
-
-        while remaining:
-            costs: dict[str, int] = {}
-            for partition in remaining:
-                for name in partition.primed_support:
-                    costs[name] = costs.get(name, 0) + len(partition.primed_support)
-            if not costs:
-                break
-            cheapest = min(costs, key=lambda name: (costs[name], name))
-            mentioning = [p for p in remaining if cheapest in p.primed_support]
-            remaining = [p for p in remaining if cheapest not in p.primed_support]
-            block = self.encoding.manager.true()
-            for partition in mentioning:
-                block = block & partition.function
-            still_needed = set()
-            for partition in remaining:
-                still_needed |= partition.primed_support
-            eliminable = (
-                (set(block.support()) | set(current.support())) & pending
-            ) - still_needed
-            current = current.and_exists(block, eliminable)
-            pending = pending - eliminable
-
-        for partition in remaining:
-            current = current & partition.function
-        current = current.exists(pending & set(current.support()))
+        # Variables only the frontier mentions can go immediately: no
+        # partition constrains them.
+        frontier_only = (set(current.support()) & all_primed) - self._partition_primed
+        if frontier_only:
+            current = current.exists(frontier_only)
+        quantified: set[str] = set(frontier_only)
+        for step in self._schedule:
+            current = current.and_exists(step.block, step.eliminable)
+            quantified |= step.eliminable
+        leftover = (all_primed - quantified) & set(current.support())
+        if leftover:
+            current = current.exists(leftover)
         return current
 
-    def witness(self, target_x: BDD) -> BDD:
-        """``Witₐ(target)``: ``isparentₐ(x) → ∃y (target(y) ∧ ischildₐ(y) ∧ ∆ₐ(x,y))``."""
+    def _witness_product(self, target_x: BDD) -> BDD:
+        """``∃y (target(y) ∧ ischildₐ(y) ∧ ∆ₐ(x,y))``, cached per target node."""
+        cached = self._product_cache.get(target_x.node)
+        if cached is not None:
+            self.product_cache_hits += 1
+            return cached
+        self.product_calls += 1
         frontier_y = self.encoding.to_primed(target_x) & self.encoding.ischild(
             self.program, primed=True
         )
         product = self._product(frontier_y)
+        self._product_cache[target_x.node] = product
+        return product
+
+    def witness(self, target_x: BDD) -> BDD:
+        """``Witₐ(target)``: ``isparentₐ(x) → ∃y (target(y) ∧ ischildₐ(y) ∧ ∆ₐ(x,y))``."""
+        product = self._witness_product(target_x)
         return self.encoding.isparent(self.program).implies(product)
 
     def witness_strict(self, target_x: BDD) -> BDD:
         """Like :meth:`witness` but the child must exist (mark propagation)."""
-        frontier_y = self.encoding.to_primed(target_x) & self.encoding.ischild(
-            self.program, primed=True
-        )
-        product = self._product(frontier_y)
+        product = self._witness_product(target_x)
         return self.encoding.isparent(self.program) & product
 
-    def child_constraint(self, parent_bits: dict[int, bool]) -> BDD:
-        """The set of admissible children (over ``x``) of a concrete parent type.
+    def child_constraint_parts(self, parent_bits: dict[int, bool]) -> list[BDD]:
+        """The admissible-children constraint as a list of conjuncts (over ``x``).
 
         Used by model reconstruction: given the parent's bit-vector, a child
         type must support exactly the parent's ``⟨a⟩ϕ`` claims and claim
         exactly the ``⟨ā⟩ϕ`` formulas whose body holds at the parent.
+
+        The conjunction of all parts can be exponentially larger than any
+        individual part, so the constraint is returned *partitioned* — cheap
+        single-literal parts first, then the status BDDs by ascending size —
+        and callers intersect the parts one at a time against an existing set
+        of types (which prunes the intermediates), exactly like the solver
+        never builds ``∆ₐ`` monolithically.
         """
         from repro.solver.truth import status_on_set
 
@@ -287,16 +349,25 @@ class TransitionRelation:
         members = frozenset(
             item for index, item in enumerate(lean.items) if parent_bits.get(index, False)
         )
-        constraint = self.encoding.ischild(self.program, primed=False)
+        literal_parts: list[BDD] = [self.encoding.ischild(self.program, primed=False)]
+        status_parts: list[BDD] = []
         for item_program, sub, index in lean.modal_items():
             if sub is sx.TRUE:
                 continue
             if item_program == self.program:
                 required = parent_bits.get(index, False)
                 status = self.encoding.status(sub, primed=False)
-                constraint = constraint & (status if required else ~status)
+                status_parts.append(status if required else ~status)
             elif item_program == -self.program:
                 holds_at_parent = status_on_set(sub, members)
                 literal = self.encoding.x(index)
-                constraint = constraint & (literal if holds_at_parent else ~literal)
+                literal_parts.append(literal if holds_at_parent else ~literal)
+        status_parts.sort(key=lambda part: part.dag_size())
+        return literal_parts + status_parts
+
+    def child_constraint(self, parent_bits: dict[int, bool]) -> BDD:
+        """Monolithic form of :meth:`child_constraint_parts` (small leans only)."""
+        constraint = self.encoding.manager.true()
+        for part in self.child_constraint_parts(parent_bits):
+            constraint = constraint & part
         return constraint

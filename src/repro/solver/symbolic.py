@@ -39,12 +39,44 @@ from repro.trees.binary import binary_forest_to_unranked
 
 @dataclass
 class SolverStatistics:
-    """Measurements collected during one solver run."""
+    """Measurements collected during one solver run.
+
+    Fields:
+
+    * ``lean_size`` — number of formulas in the Lean of the plunged formula;
+      the BDD manager works over twice this many variables (the unprimed
+      ``~x`` and primed ``~y`` vectors).  Lemma 6.7 bounds the running time
+      by ``2^O(lean_size)``.
+    * ``iterations`` — fixpoint iterations performed before the final check
+      succeeded (early termination, Section 9) or the sets became stable.
+    * ``relation_partitions`` — conjuncts across the two partitioned ``∆ₐ``
+      relations (Section 7.3); 0 partitions means a trivial relation.
+    * ``peak_set_nodes`` — largest combined BDD size (in nodes) of the two
+      proved-type sets ``U``/``M`` across iterations: the memory high-water
+      mark of the fixpoint computation.
+    * ``product_calls`` / ``product_cache_hits`` — relational products
+      actually computed vs. answered from the per-target product cache of
+      :class:`repro.solver.relations.TransitionRelation`.
+    * ``bdd_node_count`` / ``bdd_peak_node_count`` — live and peak nodes of
+      the solver's BDD manager at the end of the run.
+    * ``bdd_ite_calls`` / ``bdd_ite_cache_hits`` — ternary operations issued
+      to the manager and computed-table hits among them.
+    * ``translation_seconds`` — time to build the Lean encoding, the ``∆ₐ``
+      partitions with their elimination schedule, and the root filter.
+    * ``solve_seconds`` — time spent in the fixpoint loop itself (the "time"
+      column of Table 2).
+    """
 
     lean_size: int = 0
     iterations: int = 0
     relation_partitions: int = 0
     peak_set_nodes: int = 0
+    product_calls: int = 0
+    product_cache_hits: int = 0
+    bdd_node_count: int = 0
+    bdd_peak_node_count: int = 0
+    bdd_ite_calls: int = 0
+    bdd_ite_cache_hits: int = 0
     translation_seconds: float = 0.0
     solve_seconds: float = 0.0
 
@@ -54,6 +86,12 @@ class SolverStatistics:
             "iterations": self.iterations,
             "relation_partitions": self.relation_partitions,
             "peak_set_nodes": self.peak_set_nodes,
+            "product_calls": self.product_calls,
+            "product_cache_hits": self.product_cache_hits,
+            "bdd_node_count": self.bdd_node_count,
+            "bdd_peak_node_count": self.bdd_peak_node_count,
+            "bdd_ite_calls": self.bdd_ite_calls,
+            "bdd_ite_cache_hits": self.bdd_ite_cache_hits,
             "translation_seconds": round(self.translation_seconds, 6),
             "solve_seconds": round(self.solve_seconds, 6),
         }
@@ -168,19 +206,34 @@ class SymbolicSolver:
         satisfiable = False
         model: BinTree | None = None
 
+        # Witness BDDs are recomputed only when the set they depend on
+        # actually changed in the previous iteration; together with the
+        # per-target product cache in TransitionRelation this removes the
+        # redundant relational products the naive loop performs once one of
+        # the two sets has stabilised.
+        witness_unmarked: dict[int, BDD] = {}
+        strict_marked: dict[int, BDD] = {}
+        unmarked_node_seen: int | None = None
+        marked_node_seen: int | None = None
+
         for iteration in range(1, self.max_iterations + 1):
             statistics.iterations = iteration
             if self.track_marks:
-                witness_unmarked = {
-                    program: relations[program].witness(unmarked) for program in (1, 2)
-                }
+                if unmarked.node != unmarked_node_seen:
+                    witness_unmarked = {
+                        program: relations[program].witness(unmarked)
+                        for program in (1, 2)
+                    }
+                    unmarked_node_seen = unmarked.node
                 new_unmarked = (
                     types & ~start_literal & witness_unmarked[1] & witness_unmarked[2]
                 )
-                strict_marked = {
-                    program: relations[program].witness_strict(marked)
-                    for program in (1, 2)
-                }
+                if marked.node != marked_node_seen:
+                    strict_marked = {
+                        program: relations[program].witness_strict(marked)
+                        for program in (1, 2)
+                    }
+                    marked_node_seen = marked.node
                 marked_here = start_literal & witness_unmarked[1] & witness_unmarked[2]
                 marked_first = (
                     ~start_literal & strict_marked[1] & witness_unmarked[2]
@@ -229,6 +282,15 @@ class SymbolicSolver:
                 break
 
         statistics.solve_seconds = time.perf_counter() - start_solve
+        statistics.product_calls = sum(r.product_calls for r in relations.values())
+        statistics.product_cache_hits = sum(
+            r.product_cache_hits for r in relations.values()
+        )
+        manager_stats = encoding.manager.statistics()
+        statistics.bdd_node_count = manager_stats.node_count
+        statistics.bdd_peak_node_count = manager_stats.peak_node_count
+        statistics.bdd_ite_calls = manager_stats.ite_calls
+        statistics.bdd_ite_cache_hits = manager_stats.ite_cache_hits
         return SolverResult(
             satisfiable=satisfiable,
             model=model,

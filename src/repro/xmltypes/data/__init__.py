@@ -1,0 +1,17 @@
+"""Bundled DTD texts used by the paper's evaluation (Section 8, Table 1).
+
+The files in this package are hand-written reproductions of the *element
+structure* of the DTDs used by the paper's experiments — attributes, data
+values and external parameter entities are outside the fragment studied by
+the paper and are omitted (see the note in :mod:`repro.xmltypes.library`):
+
+* ``smil10.dtd`` — SMIL 1.0 (19 element symbols), used by the e7 benchmark;
+* ``xhtml1_strict.dtd`` — XHTML 1.0 Strict (77 element symbols), used by the
+  e8 anchor-nesting analysis;
+* ``xhtml1_core.dtd`` — a 21-element structural subset of XHTML 1.0 Strict
+  that preserves the e8 "anchor through object" loophole, for fast runs;
+* ``wikipedia.dtd`` — the Wikipedia fragment of Figure 12.
+
+Load them through :func:`repro.xmltypes.library.builtin_dtd` rather than
+reading the files directly.
+"""

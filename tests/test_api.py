@@ -1,0 +1,138 @@
+"""Tests for the ``repro.api`` batch façade."""
+
+import json
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.api import KINDS, AnalysisOutcome, BatchReport, Query, StaticAnalyzer, solve_many
+
+#: The fast Table 2 decision problems (Figure 21 queries; the SMIL and XHTML
+#: rows are exercised by the slow integration suite instead).
+TABLE2_FAST = [
+    Query.containment("/a[.//b[c/*//d]/b[c//d]/b[c/d]]", "/a[.//b[c/*//d]/b[c/d]]"),
+    Query.containment("/a[.//b[c/*//d]/b[c/d]]", "/a[.//b[c/*//d]/b[c//d]/b[c/d]]"),
+    Query.equivalence("a/b//c/foll-sibling::d/e", "a/b//d[prec-sibling::c]/e"),
+    Query.containment(
+        "a/b[//c]/following::d/e ∩ a/d[preceding::c]/e", "a/c/following::d/e"
+    ),
+]
+
+
+def test_query_factories_and_validation():
+    query = Query.containment("a", "b", "wikipedia")
+    assert query.kind == "containment"
+    assert query.exprs == ("a", "b")
+    with pytest.raises(ValueError):
+        Query("spelling", ("a",))
+    # Arity is validated up front, not left to fail inside the solver.
+    with pytest.raises(ValueError):
+        Query("containment", ("a", "b"))  # missing the two type slots
+    with pytest.raises(ValueError):
+        Query("satisfiability", ("a", "b"), (None, None))
+    assert set(KINDS) >= {"satisfiability", "containment", "equivalence"}
+
+
+def test_coverage_rejects_mismatched_type_list():
+    with pytest.raises(ValueError):
+        Query.coverage("child::a", ["child::b", "child::a"], covering_types=[None])
+
+
+def test_coverage_holds_for_trivial_cover():
+    outcome = StaticAnalyzer().solve(Query.coverage("child::a", ["child::b", "child::a"]))
+    assert outcome.holds is True
+
+
+def test_query_as_dict_is_json_compatible():
+    query = Query.coverage("a", ["b", "c"], "wikipedia")
+    payload = json.loads(json.dumps(query.as_dict()))
+    assert payload["kind"] == "coverage"
+    assert payload["exprs"] == ["a", "b", "c"]
+    assert payload["types"] == ["wikipedia", None, None]
+
+
+def test_solve_many_matches_one_by_one_solve_on_table2():
+    batch = StaticAnalyzer().solve_many(TABLE2_FAST)
+    one_by_one = [StaticAnalyzer().solve(query) for query in TABLE2_FAST]
+    assert [o.holds for o in batch.outcomes] == [o.holds for o in one_by_one]
+    # And both agree with the reference Analyzer of repro.analysis.
+    analyzer = Analyzer()
+    expected = [
+        analyzer.containment(*TABLE2_FAST[0].exprs).holds,
+        analyzer.containment(*TABLE2_FAST[1].exprs).holds,
+        all(r.holds for r in analyzer.equivalence(*TABLE2_FAST[2].exprs)),
+        analyzer.containment(*TABLE2_FAST[3].exprs).holds,
+    ]
+    assert [o.holds for o in batch.outcomes] == expected == [True, False, True, False]
+
+
+def test_solve_cache_shares_repeated_queries():
+    analyzer = StaticAnalyzer()
+    query = Query.containment("child::a[b]", "child::a")
+    first = analyzer.solve(query)
+    second = analyzer.solve(query)
+    assert not first.from_cache
+    assert second.from_cache
+    assert first.holds == second.holds
+    assert analyzer.solver_runs == 1
+    assert analyzer.solve_cache_hits == 1
+
+
+def test_equivalence_shares_containment_solves():
+    analyzer = StaticAnalyzer()
+    analyzer.solve(Query.containment("child::a[b]", "child::a"))
+    outcome = analyzer.solve(Query.equivalence("child::a[b]", "child::a"))
+    # The forward direction was already solved by the explicit containment.
+    forward, backward = outcome.parts
+    assert forward.from_cache
+    assert not backward.from_cache
+    assert outcome.holds is False  # child::a ⊄ child::a[b]
+    assert outcome.counterexample is not None
+
+
+def test_batch_report_is_json_round_trippable():
+    report = solve_many(
+        [
+            Query.satisfiability("child::meta/child::title", "wikipedia"),
+            Query.emptiness("child::title/child::meta", "wikipedia"),
+            Query.satisfiability("child::meta/child::title", "wikipedia"),
+        ]
+    )
+    assert isinstance(report, BatchReport)
+    payload = json.loads(report.to_json())
+    assert len(payload["outcomes"]) == 3
+    assert payload["solver_runs"] == 2
+    assert payload["cache_hits"] == 1
+    first = payload["outcomes"][0]
+    assert first["holds"] is True
+    assert first["statistics"]["lean_size"] > 0
+    assert first["counterexample"] is not None  # a witness document
+    assert payload["outcomes"][2]["from_cache"] is True
+
+
+def test_type_objects_and_names_are_both_accepted():
+    from repro.xmltypes.library import wikipedia_dtd
+
+    by_name = StaticAnalyzer().solve(Query.emptiness("child::meta/child::edit", "wikipedia"))
+    by_object = StaticAnalyzer().solve(
+        Query.emptiness("child::meta/child::edit", wikipedia_dtd())
+    )
+    assert by_name.holds is True
+    assert by_object.holds is True
+
+
+def test_type_translation_cache_is_shared_across_queries():
+    analyzer = StaticAnalyzer()
+    analyzer.solve(Query.satisfiability("child::meta/child::title", "wikipedia"))
+    analyzer.solve(Query.emptiness("child::meta/child::edit", "wikipedia"))
+    stats = analyzer.cache_statistics()
+    assert stats["type_cache_entries"] == 1
+    assert stats["query_cache_entries"] == 2
+    analyzer.clear_caches()
+    assert analyzer.cache_statistics()["solve_cache_entries"] == 0
+
+
+def test_outcome_time_ms_matches_seconds():
+    outcome = StaticAnalyzer().solve(Query.satisfiability("child::a"))
+    assert isinstance(outcome, AnalysisOutcome)
+    assert outcome.time_ms == pytest.approx(outcome.solve_seconds * 1000.0)
