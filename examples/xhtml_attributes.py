@@ -1,0 +1,60 @@
+"""Attribute-aware analyses over the XHTML schema.
+
+The paper's XPath fragment ignores attributes; this reproduction follows the
+companion thesis ("Logics for XML") and models attribute *presence* as
+propositions on elements, with the DTD's ``<!ATTLIST ...>`` declarations
+compiled into required/forbidden-attribute constraints.  Three analyses a
+schema-aware editor would ask:
+
+1. accessibility — does every ``img`` carry an ``alt`` text?  (Yes: the DTD
+   declares ``alt`` ``#REQUIRED``, so the containment holds.)
+2. dead links — can an ``a`` lack ``@href``?  (Yes: ``href`` is optional on
+   anchors; the analysis exhibits a counterexample document.)
+3. nested links — can an ``a[@href]`` be nested inside another ``a[@href]``?
+   (Yes: the DTD only forbids *direct* nesting, and the solver shows the
+   loophole, attributes included.)
+
+Run with::
+
+    python examples/xhtml_attributes.py
+"""
+
+from repro import Analyzer, builtin_dtd, serialize_tree
+from repro.analysis.problems import relevant_attributes, rooted
+
+
+def main() -> None:
+    analyzer = Analyzer()
+    # The reduced structural subset of XHTML Strict; switch to
+    # builtin_dtd("xhtml") for the full 77-element DTD (much slower).
+    xhtml = builtin_dtd("xhtml-core")
+
+    print("1. every img carries a required alt attribute:")
+    alphabet = relevant_attributes("//img", "//img[@alt]")
+    constrained = rooted(xhtml, alphabet)
+    result = analyzer.containment(
+        "//img", "//img[@alt]", type1=constrained, type2=constrained
+    )
+    print("  ", result.describe())
+
+    print("2. anchors may lack href (counterexample shown):")
+    alphabet = relevant_attributes("//a", "//a[@href]")
+    constrained = rooted(xhtml, alphabet)
+    result = analyzer.containment(
+        "//a", "//a[@href]", type1=constrained, type2=constrained
+    )
+    print("  ", result.describe())
+
+    print("3. an a[@href] nested inside another a[@href] is still possible:")
+    result = analyzer.satisfiability(
+        "descendant::a[@href][ancestor::a[@href]]", rooted(xhtml, ("href",))
+    )
+    print("  ", result.describe())
+    witness = result.counterexample
+    if witness is not None:
+        print("   witness document:")
+        print(serialize_tree(witness, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -56,9 +56,9 @@ from repro.solver.explicit import ExplicitSolver
 from repro.solver.symbolic import SolverResult, SymbolicSolver
 from repro.trees.unranked import Tree, parse_tree, serialize_tree
 from repro.xmltypes.compile import compile_dtd
-from repro.xmltypes.dtd import DTD, parse_dtd
+from repro.xmltypes.dtd import DTD, AttributeDeclaration, parse_dtd
 from repro.xmltypes.library import builtin_dtd
-from repro.xmltypes.membership import dtd_accepts
+from repro.xmltypes.membership import dtd_accepts, dtd_attribute_violations
 from repro.xpath.compile import compile_xpath
 from repro.xpath.parser import parse_xpath
 from repro.xpath.semantics import select
@@ -90,10 +90,12 @@ __all__ = [
     "parse_tree",
     "serialize_tree",
     "DTD",
+    "AttributeDeclaration",
     "parse_dtd",
     "compile_dtd",
     "builtin_dtd",
     "dtd_accepts",
+    "dtd_attribute_violations",
     "compile_xpath",
     "parse_xpath",
     "select",

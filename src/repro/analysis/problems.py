@@ -19,6 +19,14 @@ For XPath expressions ``e₁, …, eₙ`` and XML types ``T₁, …, Tₙ``:
 When the formula of a "negative" problem (containment, coverage, type
 inclusion) is satisfiable, the satisfying model is a counterexample document,
 annotated with the start mark, which is returned to the caller.
+
+**Attributes.**  When an expression of a problem mentions attribute steps
+(``@href``, ``attribute::*``), every DTD involved in the problem is compiled
+with its ATTLIST constraints projected onto the union of the attribute names
+the problem's expressions mention (see :mod:`repro.xmltypes.compile`): the
+projection keeps the Lean small while preserving every verdict a
+presence-based query can distinguish.  Attribute-free problems compile types
+exactly as before.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.logic import syntax as sx
+from repro.logic.closure import OTHER_ATTRIBUTE
 from repro.logic.negation import negate
 from repro.solver.symbolic import SolverResult, SymbolicSolver
 from repro.trees.unranked import Tree
@@ -34,35 +43,115 @@ from repro.xmltypes.ast import BinaryTypeGrammar
 from repro.xmltypes.dtd import DTD
 from repro.xpath import ast as xp
 from repro.xpath.compile import compile_xpath
-from repro.xpath.parser import parse_xpath
+from repro.xpath.parser import parse_xpath_cached
 
 TypeLike = "DTD | BinaryTypeGrammar | sx.Formula | None"
 ExprLike = "xp.Expr | str"
 
 
-def _type_formula(xml_type, constrain_siblings: bool = True) -> sx.Formula:
+def _type_formula(
+    xml_type, constrain_siblings: bool = True, attributes: tuple[str, ...] = ()
+) -> sx.Formula:
     """The Lµ formula of a type constraint (⊤ when there is none).
 
     ``constrain_siblings=False`` is used for *output* types (static type
     checking): the checked node is usually an inner node of a document and may
     have following siblings, which the type should not constrain.
+
+    ``attributes`` is the attribute alphabet the surrounding problem observes;
+    DTD types project their ATTLIST constraints onto it (other kinds of type
+    constraint carry no attribute information and ignore it).
     """
     if xml_type is None:
         return sx.TRUE
     if isinstance(xml_type, sx.Formula):
         return xml_type
     if isinstance(xml_type, DTD):
-        return compile_dtd(xml_type, constrain_siblings=constrain_siblings)
+        return compile_dtd(
+            xml_type,
+            constrain_siblings=constrain_siblings,
+            attributes=attributes or None,
+        )
     if isinstance(xml_type, BinaryTypeGrammar):
         return compile_grammar(xml_type, constrain_siblings=constrain_siblings)
     raise TypeError(f"unsupported type constraint {xml_type!r}")
 
 
 def _expression(expr) -> xp.Expr:
-    return parse_xpath(expr) if isinstance(expr, str) else expr
+    return parse_xpath_cached(expr) if isinstance(expr, str) else expr
 
 
-def rooted(xml_type) -> sx.Formula:
+def relevant_attributes(*exprs) -> tuple[str, ...]:
+    """The attribute alphabet of a problem: every name its expressions mention.
+
+    The wildcard ``@*`` contributes the "other attribute" marker so that type
+    constraints can also rule attributes outside the named alphabet in or
+    out.  Returns a sorted tuple (empty for attribute-free problems).
+    """
+    names: set[str] = set()
+    wildcard = False
+    for expr in exprs:
+        if expr is None:
+            continue
+        expr_names, expr_wildcard = xp.collect_attributes(_expression(expr))
+        names |= expr_names
+        wildcard = wildcard or expr_wildcard
+    if wildcard:
+        names.add(OTHER_ATTRIBUTE)
+    return tuple(sorted(names))
+
+
+def _required_attribute_names(xml_type) -> set[str]:
+    """Every ``#REQUIRED`` attribute name of a DTD type (else ∅)."""
+    if not isinstance(xml_type, DTD):
+        return set()
+    return {
+        name
+        for element in xml_type.element_names()
+        for name in xml_type.required_attributes(element)
+    }
+
+
+def type_inclusion_attributes(expr, input_type, output_type) -> tuple[str, ...]:
+    """The attribute alphabet for a static type-checking problem.
+
+    Unlike query-versus-query problems, type inclusion uses a *negated type*
+    as a predicate on the selected subtrees, so attribute names the
+    expression never mentions can still decide validity: an output type with
+    ``alt`` ``#REQUIRED`` on ``img`` rejects every alt-less ``img`` whether
+    or not the query talks about ``alt``.  The alphabet therefore adds, on
+    top of the expression's names, every ``#REQUIRED`` name of either DTD
+    and every name the input type declares *on an element* for which the
+    output type does not declare it (an attribute the input admits there
+    that would invalidate the output; the comparison is per element — the
+    output declaring the same name on a different element does not help).
+
+    When the input type is unconstrained (``None``, a raw formula, or a
+    grammar), documents may carry attribute names no finite alphabet can
+    enumerate; such attributes stay outside the model, i.e. inclusion is
+    decided *modulo attributes the problem cannot name* (consistent with the
+    projection semantics everywhere else).
+    """
+    names = set(relevant_attributes(expr))
+    names |= _required_attribute_names(input_type)
+    names |= _required_attribute_names(output_type)
+    if isinstance(input_type, DTD):
+        output_attlists = (
+            output_type.attlists if isinstance(output_type, DTD) else {}
+        )
+        for element, declarations in input_type.attlists.items():
+            declared_out = {
+                declaration.name for declaration in output_attlists.get(element, ())
+            }
+            names |= {
+                declaration.name
+                for declaration in declarations
+                if declaration.name not in declared_out
+            }
+    return tuple(sorted(names))
+
+
+def rooted(xml_type, attributes: tuple[str, ...] = ()) -> sx.Formula:
     """Anchor a type constraint at the document root.
 
     The type translation of Section 5.2 deliberately leaves the context of the
@@ -70,11 +159,13 @@ def rooted(xml_type) -> sx.Formula:
     experiments of Section 8) the paper notes that "conditions similar to
     those of absolute paths are added" when the position of the root is known;
     this helper conjoins the type formula with "no parent and no sibling", so
-    the marked context node is the document root itself.
+    the marked context node is the document root itself.  ``attributes`` is
+    the attribute alphabet to project DTD attribute constraints onto (use
+    :func:`relevant_attributes` of the queries the type will face).
     """
     return sx.big_and(
         (
-            _type_formula(xml_type),
+            _type_formula(xml_type, attributes=attributes),
             sx.no_dia(-1),
             sx.no_dia(-2),
             sx.no_dia(2),
@@ -82,8 +173,10 @@ def rooted(xml_type) -> sx.Formula:
     )
 
 
-def _query_formula(expr, xml_type) -> sx.Formula:
-    return compile_xpath(_expression(expr), _type_formula(xml_type))
+def _query_formula(expr, xml_type, attributes: tuple[str, ...] = ()) -> sx.Formula:
+    return compile_xpath(
+        _expression(expr), _type_formula(xml_type, attributes=attributes)
+    )
 
 
 @dataclass
@@ -140,7 +233,7 @@ class Analyzer:
 
     def satisfiability(self, expr, xml_type=None) -> AnalysisResult:
         """Can the expression select at least one node (under the type)?"""
-        formula = _query_formula(expr, xml_type)
+        formula = _query_formula(expr, xml_type, relevant_attributes(expr))
         result = self._solve(formula)
         return AnalysisResult(
             problem=f"satisfiability of {expr}",
@@ -161,8 +254,12 @@ class Analyzer:
 
     def containment(self, expr1, expr2, type1=None, type2=None) -> AnalysisResult:
         """Is every node selected by ``expr1`` also selected by ``expr2``?"""
+        # Both sides share one attribute alphabet: a required attribute that
+        # only expr2 mentions must still constrain the models of expr1's type.
+        attributes = relevant_attributes(expr1, expr2)
         formula = sx.mk_and(
-            _query_formula(expr1, type1), negate(_query_formula(expr2, type2))
+            _query_formula(expr1, type1, attributes),
+            negate(_query_formula(expr2, type2, attributes)),
         )
         result = self._solve(formula)
         return AnalysisResult(
@@ -180,7 +277,11 @@ class Analyzer:
 
     def overlap(self, expr1, expr2, type1=None, type2=None) -> AnalysisResult:
         """Can the two expressions select a common node?"""
-        formula = sx.mk_and(_query_formula(expr1, type1), _query_formula(expr2, type2))
+        attributes = relevant_attributes(expr1, expr2)
+        formula = sx.mk_and(
+            _query_formula(expr1, type1, attributes),
+            _query_formula(expr2, type2, attributes),
+        )
         result = self._solve(formula)
         return AnalysisResult(
             problem=f"overlap of {expr1} and {expr2}",
@@ -193,9 +294,10 @@ class Analyzer:
         """Is every node selected by ``expr`` selected by one of ``covering``?"""
         covering = list(covering)
         covering_types = list(covering_types) if covering_types is not None else [None] * len(covering)
-        formula = _query_formula(expr, xml_type)
+        attributes = relevant_attributes(expr, *covering)
+        formula = _query_formula(expr, xml_type, attributes)
         for other, other_type in zip(covering, covering_types):
-            formula = sx.mk_and(formula, negate(_query_formula(other, other_type)))
+            formula = sx.mk_and(formula, negate(_query_formula(other, other_type, attributes)))
         result = self._solve(formula)
         return AnalysisResult(
             problem=f"coverage of {expr} by {len(covering)} expressions",
@@ -207,9 +309,14 @@ class Analyzer:
     def type_inclusion(self, expr, input_type, output_type) -> AnalysisResult:
         """Static type checking of an annotated query: is every node selected by
         ``expr`` under ``input_type`` the root of a subtree of ``output_type``?"""
+        attributes = type_inclusion_attributes(expr, input_type, output_type)
         formula = sx.mk_and(
-            _query_formula(expr, input_type),
-            negate(_type_formula(output_type, constrain_siblings=False)),
+            _query_formula(expr, input_type, attributes),
+            negate(
+                _type_formula(
+                    output_type, constrain_siblings=False, attributes=attributes
+                )
+            ),
         )
         result = self._solve(formula)
         return AnalysisResult(

@@ -43,6 +43,21 @@ Quickstart::
 XML types may be given as built-in schema names (``"smil"``, ``"xhtml"``,
 ``"xhtml-core"``, ``"wikipedia"``), parsed :class:`repro.xmltypes.dtd.DTD`
 objects, binary type grammars, raw Lµ formulas, or ``None`` for "any tree".
+
+Expressions may use attribute steps (``@href``, ``attribute::*``); DTD types
+then contribute their ``<!ATTLIST>`` constraints, projected onto the
+attribute names the query mentions::
+
+    # Under XHTML 1.0 Strict every img carries an alt attribute...
+    analyzer.solve(Query.containment(".//img", ".//img[@alt]", "xhtml", "xhtml"))
+    # ...but not every a carries href (a counterexample document is returned).
+    analyzer.solve(Query.containment(".//a", ".//a[@href]", "xhtml", "xhtml"))
+
+(The queries are relative to the marked, typed node: a bare DTD constraint
+deliberately leaves the context of that node unconstrained — Section 5.2 —
+so absolute ``//`` queries could select nodes outside the typed subtree.
+Anchor the type with :func:`repro.analysis.problems.rooted` for
+whole-document readings.)
 """
 
 from __future__ import annotations
@@ -52,6 +67,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.analysis.problems import relevant_attributes, type_inclusion_attributes
 from repro.logic import syntax as sx
 from repro.logic.negation import negate
 from repro.solver.symbolic import SolverResult, SymbolicSolver
@@ -62,7 +78,7 @@ from repro.xmltypes.dtd import DTD
 from repro.xmltypes.library import builtin_dtd
 from repro.xpath import ast as xp
 from repro.xpath.compile import compile_xpath
-from repro.xpath.parser import parse_xpath
+from repro.xpath.parser import parse_xpath_cached
 
 #: Query kinds accepted by :class:`Query` / :meth:`StaticAnalyzer.solve_many`.
 KINDS = (
@@ -318,9 +334,19 @@ class StaticAnalyzer:
             self._type_refs.append(xml_type)
         return ("object", id(xml_type))
 
-    def type_formula(self, xml_type: object, constrain_siblings: bool = True) -> sx.Formula:
-        """The (cached) Lµ translation of a type constraint (⊤ for ``None``)."""
-        key = (self._type_key(xml_type), constrain_siblings)
+    def type_formula(
+        self,
+        xml_type: object,
+        constrain_siblings: bool = True,
+        attributes: tuple[str, ...] = (),
+    ) -> sx.Formula:
+        """The (cached) Lµ translation of a type constraint (⊤ for ``None``).
+
+        ``attributes`` is the attribute alphabet of the surrounding problem:
+        DTD types project their ATTLIST constraints onto it (see
+        :mod:`repro.xmltypes.compile`); it is part of the cache key.
+        """
+        key = (self._type_key(xml_type), constrain_siblings, attributes)
         cached = self._type_cache.get(key)
         if cached is not None:
             return cached
@@ -330,7 +356,11 @@ class StaticAnalyzer:
         elif isinstance(resolved, sx.Formula):
             formula = resolved
         elif isinstance(resolved, DTD):
-            formula = compile_dtd(resolved, constrain_siblings=constrain_siblings)
+            formula = compile_dtd(
+                resolved,
+                constrain_siblings=constrain_siblings,
+                attributes=attributes or None,
+            )
         elif isinstance(resolved, BinaryTypeGrammar):
             formula = compile_grammar(resolved, constrain_siblings=constrain_siblings)
         else:
@@ -338,16 +368,31 @@ class StaticAnalyzer:
         self._type_cache[key] = formula
         return formula
 
-    def query_formula(self, expr: str | xp.Expr, xml_type: object = None) -> sx.Formula:
-        """The (cached) Lµ translation ``E→[[expr]]([[xml_type]])``."""
+    def query_formula(
+        self,
+        expr: str | xp.Expr,
+        xml_type: object = None,
+        attributes: tuple[str, ...] | None = None,
+    ) -> sx.Formula:
+        """The (cached) Lµ translation ``E→[[expr]]([[xml_type]])``.
+
+        ``attributes`` is the problem's attribute alphabet (defaults to the
+        names this expression mentions on its own).
+        """
         if not isinstance(expr, str):
             # Pre-parsed expressions are not cacheable by text; translate only.
-            return compile_xpath(expr, self.type_formula(xml_type))
-        key = (expr, self._type_key(xml_type))
+            if attributes is None:
+                attributes = relevant_attributes(expr)
+            return compile_xpath(expr, self.type_formula(xml_type, attributes=attributes))
+        if attributes is None:
+            attributes = relevant_attributes(expr)
+        key = (expr, self._type_key(xml_type), attributes)
         cached = self._query_cache.get(key)
         if cached is not None:
             return cached
-        formula = compile_xpath(parse_xpath(expr), self.type_formula(xml_type))
+        formula = compile_xpath(
+            parse_xpath_cached(expr), self.type_formula(xml_type, attributes=attributes)
+        )
         self._query_cache[key] = formula
         return formula
 
@@ -405,39 +450,56 @@ class StaticAnalyzer:
         (satisfiability, overlap) or when it is unsatisfiable (the rest).
         """
         kind, exprs, types = query.kind, query.exprs, query.types
+        # All expressions of a problem share one attribute alphabet so type
+        # constraints agree across the sub-formulas (see repro.analysis);
+        # type_inclusion derives a richer alphabet of its own in its branch.
+        if kind != "type_inclusion":
+            attributes = relevant_attributes(*exprs)
         if kind == "satisfiability":
             return (
-                self.query_formula(exprs[0], types[0]),
+                self.query_formula(exprs[0], types[0], attributes),
                 f"satisfiability of {exprs[0]}",
                 True,
             )
         if kind == "emptiness":
             return (
-                self.query_formula(exprs[0], types[0]),
+                self.query_formula(exprs[0], types[0], attributes),
                 f"emptiness of {exprs[0]}",
                 False,
             )
         if kind == "containment":
             formula = sx.mk_and(
-                self.query_formula(exprs[0], types[0]),
-                negate(self.query_formula(exprs[1], types[1])),
+                self.query_formula(exprs[0], types[0], attributes),
+                negate(self.query_formula(exprs[1], types[1], attributes)),
             )
             return formula, f"containment {exprs[0]} ⊆ {exprs[1]}", False
         if kind == "overlap":
             formula = sx.mk_and(
-                self.query_formula(exprs[0], types[0]),
-                self.query_formula(exprs[1], types[1]),
+                self.query_formula(exprs[0], types[0], attributes),
+                self.query_formula(exprs[1], types[1], attributes),
             )
             return formula, f"overlap of {exprs[0]} and {exprs[1]}", True
         if kind == "coverage":
-            formula = self.query_formula(exprs[0], types[0])
+            formula = self.query_formula(exprs[0], types[0], attributes)
             for other, other_type in zip(exprs[1:], types[1:]):
-                formula = sx.mk_and(formula, negate(self.query_formula(other, other_type)))
+                formula = sx.mk_and(
+                    formula, negate(self.query_formula(other, other_type, attributes))
+                )
             return formula, f"coverage of {exprs[0]} by {len(exprs) - 1} expressions", False
         if kind == "type_inclusion":
+            # The negated output type acts as a predicate on subtrees, so the
+            # alphabet must also cover the DTDs' required/declared names (see
+            # repro.analysis.problems.type_inclusion_attributes).
+            attributes = type_inclusion_attributes(
+                exprs[0], self._resolve_type(types[0]), self._resolve_type(types[1])
+            )
             formula = sx.mk_and(
-                self.query_formula(exprs[0], types[0]),
-                negate(self.type_formula(types[1], constrain_siblings=False)),
+                self.query_formula(exprs[0], types[0], attributes),
+                negate(
+                    self.type_formula(
+                        types[1], constrain_siblings=False, attributes=attributes
+                    )
+                ),
             )
             return formula, f"type inclusion of {exprs[0]}", False
         raise ValueError(f"unknown query kind {kind!r}")  # pragma: no cover

@@ -29,6 +29,11 @@ from repro.trees.focus import MODALITIES
 #: (written σₓ in the paper).
 OTHER_LABEL = "#other"
 
+#: Attribute name standing for "an attribute named by none of the attribute
+#: propositions of ψ".  It gives the wildcard ``@*`` something to be true of
+#: on nodes whose attributes are all outside the formula's alphabet.
+OTHER_ATTRIBUTE = "#otherattr"
+
 
 def fisher_ladner_closure(formula: sx.Formula, max_size: int = 200_000) -> set[sx.Formula]:
     """Compute the Fisher–Ladner closure ``cl(ψ)``.
@@ -77,6 +82,9 @@ class Lean:
     index: dict[sx.Formula, int] = field(compare=False, hash=False)
     propositions: tuple[str, ...]
     other_label: str
+    #: Attribute names with a bit of their own (empty when ψ never mentions
+    #: attributes); always ends with :data:`OTHER_ATTRIBUTE` when non-empty.
+    attributes: tuple[str, ...] = ()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -110,12 +118,24 @@ class Lean:
         formula = sx.prop(label if label in self.propositions else self.other_label)
         return self.index[formula]
 
+    def attribute_index(self, name: str) -> int:
+        """Index of the lean entry for attribute proposition ``@name``.
+
+        Attribute names without a bit of their own map to the extra
+        :data:`OTHER_ATTRIBUTE` bit (mirroring :meth:`proposition_index`).
+        """
+        formula = sx.attr(name if name in self.attributes else OTHER_ATTRIBUTE)
+        return self.index[formula]
+
     def describe(self) -> str:
         """A short human-readable summary (used by reports and benchmarks)."""
         modal = sum(1 for item in self.items if item.kind == sx.KIND_DIA)
+        attributes = (
+            f", {len(self.attributes)} attribute propositions" if self.attributes else ""
+        )
         return (
-            f"Lean size {len(self.items)}: {len(self.propositions)} propositions, "
-            f"{modal} modal formulas"
+            f"Lean size {len(self.items)}: {len(self.propositions)} propositions"
+            f"{attributes}, {modal} modal formulas"
         )
 
 
@@ -124,13 +144,19 @@ def lean(formula: sx.Formula, extra_labels: tuple[str, ...] = ()) -> Lean:
 
     ``extra_labels`` adds atomic propositions that must be representable even
     though they do not occur in the formula (useful when a model must mention
-    labels from a surrounding problem).
+    labels from a surrounding problem).  One attribute bit is allocated per
+    attribute name occurring in ψ, plus the :data:`OTHER_ATTRIBUTE` bit;
+    formulas without attribute propositions pay nothing.
     """
     closure = fisher_ladner_closure(formula)
 
     labels = sorted(sx.atomic_propositions(formula) | set(extra_labels))
     if OTHER_LABEL not in labels:
         labels.append(OTHER_LABEL)
+
+    attribute_names = sorted(sx.attribute_propositions(formula) - {OTHER_ATTRIBUTE})
+    if attribute_names or sx.uses_attributes(formula):
+        attribute_names.append(OTHER_ATTRIBUTE)
 
     items: list[sx.Formula] = []
     seen: set[sx.Formula] = set()
@@ -145,6 +171,8 @@ def lean(formula: sx.Formula, extra_labels: tuple[str, ...] = ()) -> Lean:
     add(sx.START)
     for label in labels:
         add(sx.prop(label))
+    for name in attribute_names:
+        add(sx.attr(name))
 
     # Existential formulas of the closure, in breadth-first order of first
     # appearance starting from the root formula.
@@ -178,4 +206,5 @@ def lean(formula: sx.Formula, extra_labels: tuple[str, ...] = ()) -> Lean:
         index=index,
         propositions=tuple(labels),
         other_label=OTHER_LABEL,
+        attributes=tuple(attribute_names),
     )

@@ -47,6 +47,10 @@ def _negate(
         result = sx.nprop(formula.label)
     elif kind == sx.KIND_NPROP:
         result = sx.prop(formula.label)
+    elif kind == sx.KIND_ATTR:
+        result = sx.nattr(formula.label)
+    elif kind == sx.KIND_NATTR:
+        result = sx.attr(formula.label)
     elif kind == sx.KIND_START:
         result = sx.NSTART
     elif kind == sx.KIND_NSTART:

@@ -10,7 +10,8 @@ The grammar (lowest precedence first)::
     prefix   ::=  "<" PROGRAM ">" prefix
                |  "~" prefix
                |  atom
-    atom     ::=  "T" | "F" | "s" | NAME | "$" NAME | "(" formula ")"
+    atom     ::=  "T" | "F" | "s" | NAME | "@" (NAME | "*")
+               |  "$" NAME | "(" formula ")"
 
 Negation is accepted on any subformula; it is eliminated on the fly with
 :func:`repro.logic.negation.negate`, so the parsed result is always in the
@@ -26,9 +27,10 @@ from repro.logic import syntax as sx
 
 _TOKEN_RE = re.compile(
     r"\s*(?:(?P<keyword>let_mu|let_nu|in)\b"
-    r"|(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)"
+    # Names are QNames (xsl:template, @xml:lang), matching the XPath tokenizer.
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*(?::[A-Za-z_][A-Za-z0-9_.\-]*)?)"
     r"|(?P<program><-?[12]>)"
-    r"|(?P<symbol>[()|&~,=$]))"
+    r"|(?P<symbol>[()|&~,=$@*]))"
 )
 
 
@@ -150,6 +152,11 @@ def _parse_atom(tokens: _Tokens) -> sx.Formula:
     if kind == "symbol" and value == "$":
         name = tokens.expect("name")[1]
         return sx.var(name)
+    if kind == "symbol" and value == "@":
+        if tokens.accept("symbol", "*"):
+            return sx.attr(sx.ANY_ATTRIBUTE)
+        name = tokens.expect("name")[1]
+        return sx.attr(name)
     if kind == "name":
         if value == "T":
             return sx.TRUE

@@ -4,6 +4,7 @@ The concrete syntax (also accepted by :mod:`repro.logic.parser`) is::
 
     T  F  s  ~s            truth, falsity, start proposition and its negation
     name   ~name           atomic proposition and its negation
+    @name  ~@name  @*      attribute propositions (``@*``: some attribute)
     $X                     recursion variable
     <1>phi <2>phi          existential modalities (first child / next sibling)
     <-1>phi <-2>phi        converse modalities (parent / previous sibling)
@@ -44,6 +45,10 @@ def _format(formula: sx.Formula, parent_precedence: int) -> str:
         return formula.label
     if kind == sx.KIND_NPROP:
         return f"~{formula.label}"
+    if kind == sx.KIND_ATTR:
+        return f"@{formula.label}"
+    if kind == sx.KIND_NATTR:
+        return f"~@{formula.label}"
     if kind == sx.KIND_VAR:
         return f"${formula.label}"
     if kind == sx.KIND_NDIA:

@@ -50,6 +50,10 @@ def _interpret(
         return frozenset(f for f in universe if f.name == formula.label)
     if kind == sx.KIND_NPROP:
         return frozenset(f for f in universe if f.name != formula.label)
+    if kind == sx.KIND_ATTR:
+        return frozenset(f for f in universe if f.has_attribute(formula.label))
+    if kind == sx.KIND_NATTR:
+        return frozenset(f for f in universe if not f.has_attribute(formula.label))
     if kind == sx.KIND_START:
         return frozenset(f for f in universe if f.marked)
     if kind == sx.KIND_NSTART:

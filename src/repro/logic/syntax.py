@@ -4,6 +4,7 @@ Formulas are::
 
     ϕ, ψ ::= ⊤ | ⊥                    truth / falsity
            | σ | ¬σ                   atomic proposition (possibly negated)
+           | @l | ¬@l                 attribute proposition (possibly negated)
            | s | ¬s                   start proposition (possibly negated)
            | X                        recursion variable
            | ϕ ∨ ψ | ϕ ∧ ψ            disjunction / conjunction
@@ -17,6 +18,12 @@ converse modalities written 1̄, 2̄ in the paper).
 The paper encodes falsity as ``σ ∧ ¬σ``; an explicit ``⊥`` node is provided
 here for convenience and is treated exactly like that encoding by every
 algorithm (its truth status is constantly false).
+
+Attribute propositions ``@l`` follow the attribute extension of the companion
+thesis ("Logics for XML"): ``@l`` holds at a focused tree whose focus node
+carries attribute ``l``.  Unlike element labels, any number of attribute
+propositions may hold at a node simultaneously.  The special label ``*``
+(:data:`ANY_ATTRIBUTE`) stands for "some attribute, whatever its name".
 
 Every construction goes through the module-level intern table, so formulas are
 immutable, structurally shared, and can be compared and hashed by identity.
@@ -38,6 +45,8 @@ KIND_TRUE = "true"
 KIND_FALSE = "false"
 KIND_PROP = "prop"        # σ
 KIND_NPROP = "nprop"      # ¬σ
+KIND_ATTR = "attr"        # @l
+KIND_NATTR = "nattr"      # ¬@l
 KIND_START = "start"      # s
 KIND_NSTART = "nstart"    # ¬s
 KIND_VAR = "var"          # X
@@ -114,12 +123,14 @@ class Formula:
 
     @property
     def is_atom(self) -> bool:
-        """True for leaves: ⊤, ⊥, σ, ¬σ, s, ¬s, X and ¬⟨a⟩⊤."""
+        """True for leaves: ⊤, ⊥, σ, ¬σ, @l, ¬@l, s, ¬s, X and ¬⟨a⟩⊤."""
         return self.kind in (
             KIND_TRUE,
             KIND_FALSE,
             KIND_PROP,
             KIND_NPROP,
+            KIND_ATTR,
+            KIND_NATTR,
             KIND_START,
             KIND_NSTART,
             KIND_VAR,
@@ -185,6 +196,25 @@ def prop(label: str) -> Formula:
 def nprop(label: str) -> Formula:
     """Negated atomic proposition ¬σ."""
     return _intern(KIND_NPROP, label=label)
+
+
+#: The wildcard attribute label: ``attr(ANY_ATTRIBUTE)`` holds at nodes that
+#: carry at least one attribute, whatever its name.
+ANY_ATTRIBUTE = "*"
+
+
+def attr(label: str) -> Formula:
+    """Attribute proposition @l: the node in focus carries attribute ``label``.
+
+    ``attr(ANY_ATTRIBUTE)`` (i.e. ``attr("*")``) holds when the node carries
+    *some* attribute.
+    """
+    return _intern(KIND_ATTR, label=label)
+
+
+def nattr(label: str) -> Formula:
+    """Negated attribute proposition ¬@l (for ``*``: the node has no attribute)."""
+    return _intern(KIND_NATTR, label=label)
 
 
 def var(name: str) -> Formula:
@@ -336,6 +366,26 @@ def atomic_propositions(formula: Formula) -> set[str]:
         for sub in iter_subformulas(formula)
         if sub.kind in (KIND_PROP, KIND_NPROP)
     }
+
+
+def attribute_propositions(formula: Formula) -> set[str]:
+    """The set of *named* attribute propositions @l occurring in the formula.
+
+    The wildcard :data:`ANY_ATTRIBUTE` is not a name and is excluded; use
+    :func:`uses_attributes` to detect it.
+    """
+    return {
+        sub.label
+        for sub in iter_subformulas(formula)
+        if sub.kind in (KIND_ATTR, KIND_NATTR) and sub.label != ANY_ATTRIBUTE
+    }
+
+
+def uses_attributes(formula: Formula) -> bool:
+    """Whether any attribute proposition (named or wildcard) occurs."""
+    return any(
+        sub.kind in (KIND_ATTR, KIND_NATTR) for sub in iter_subformulas(formula)
+    )
 
 
 def free_variables(formula: Formula) -> frozenset[str]:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.core.errors import SolverLimitError
 from repro.logic import syntax as sx
 from repro.logic.closure import Lean, lean as compute_lean
+from repro.solver.models import render_attributes
 from repro.solver.truth import TypeAssignment, psi_types, status_on_set
 from repro.trees.binary import BinTree
 
@@ -213,6 +214,7 @@ class ExplicitSolver:
                 left=first,
                 right=second,
                 marked=entry.assignment.marked,
+                attributes=render_attributes(entry.assignment.attributes),
             )
 
         return build(root)

@@ -17,12 +17,22 @@ from __future__ import annotations
 
 from repro.bdd.manager import BDD
 from repro.logic import syntax as sx
-from repro.logic.closure import OTHER_LABEL
+from repro.logic.closure import OTHER_ATTRIBUTE, OTHER_LABEL
 from repro.solver.relations import LeanEncoding, TransitionRelation
 from repro.trees.binary import BinTree
 
 #: Label used when the model node's proposition is "any other name".
 FRESH_LABEL = "_"
+
+#: Attribute name used when a model node carries "any other attribute".
+FRESH_ATTRIBUTE = "_"
+
+
+def render_attributes(names: tuple[str, ...] | list[str]) -> tuple[str, ...]:
+    """Map the internal "other attribute" name to a renderable placeholder."""
+    return tuple(
+        sorted(FRESH_ATTRIBUTE if name == OTHER_ATTRIBUTE else name for name in names)
+    )
 
 
 def _bits_from_assignment(encoding: LeanEncoding, assignment: dict[str, bool]) -> dict[int, bool]:
@@ -37,6 +47,15 @@ def _label_of(encoding: LeanEncoding, bits: dict[int, bool]) -> str:
         if bits.get(encoding.lean.proposition_index(label), False):
             return FRESH_LABEL if label == OTHER_LABEL else label
     return FRESH_LABEL
+
+
+def _attributes_of(encoding: LeanEncoding, bits: dict[int, bool]) -> tuple[str, ...]:
+    present = [
+        name
+        for name in encoding.lean.attributes
+        if bits.get(encoding.lean.attribute_index(name), False)
+    ]
+    return render_attributes(present)
 
 
 def reconstruct_counterexample(
@@ -71,19 +90,23 @@ def _build_node(
     marked_here = bool(bits.get(lean.start_index, False)) and carries_mark
 
     children: dict[int, BinTree | None] = {1: None, 2: None}
-    # Decide through which branch the start mark must be routed.
+    # Decide through which branch the start mark must be routed.  The chooser
+    # returns the witnesses it had to find anyway so they are not re-searched.
     mark_branch = 0
+    found: dict[tuple[int, bool], dict[int, bool]] = {}
     if carries_mark and not marked_here:
-        mark_branch = _choose_mark_branch(encoding, relations, snapshots, bits)
+        mark_branch, found = _choose_mark_branch(encoding, relations, snapshots, bits)
 
     for program in (1, 2):
         needs_child = bits.get(encoding.top_index(program), False)
         if not needs_child:
             continue
         want_marked = program == mark_branch
-        child_bits = _find_child(
-            encoding, relations[program], snapshots, bits, want_marked
-        )
+        child_bits = found.get((program, want_marked))
+        if child_bits is None:
+            child_bits = _find_child(
+                encoding, relations[program], snapshots, bits, want_marked
+            )
         children[program] = _build_node(
             encoding, relations, snapshots, child_bits, carries_mark=want_marked
         )
@@ -93,6 +116,7 @@ def _build_node(
         left=children[1],
         right=children[2],
         marked=marked_here,
+        attributes=_attributes_of(encoding, bits),
     )
 
 
@@ -101,19 +125,67 @@ def _choose_mark_branch(
     relations: dict[int, TransitionRelation],
     snapshots: list[tuple[BDD, BDD]],
     bits: dict[int, bool],
-) -> int:
-    """Pick the branch (1 or 2) through which the start mark is provable."""
+) -> tuple[int, dict[tuple[int, bool], dict[int, bool]]]:
+    """Pick the branch (1 or 2) through which the start mark is provable.
+
+    The solver proved the type through at least one of the ``Upd`` cases
+    "mark through the first branch" / "mark through the second branch"
+    (Figure 16), but not necessarily through both: a branch may admit a
+    *marked* witness while the other branch only has *marked* witnesses too
+    (so routing the mark there would strand the second mark).  The chosen
+    branch must therefore have a marked witness **and** leave every other
+    claimed branch an unmarked witness — picking the first branch with a
+    marked witness alone reconstructs an inconsistent tree.
+
+    Returns the chosen branch together with the witnesses found along the
+    way, keyed by ``(program, want_marked)``, so the caller reuses them
+    instead of repeating the snapshot scans.
+    """
+    found: dict[tuple[int, bool], dict[int, bool]] = {}
+
+    def search(program: int, want_marked: bool) -> dict[int, bool] | None:
+        key = (program, want_marked)
+        if key not in found:
+            witness = _search_child(
+                encoding, relations[program], snapshots, bits, want_marked
+            )
+            if witness is None:
+                return None
+            found[key] = witness
+        return found[key]
+
     for program in (1, 2):
         if not bits.get(encoding.top_index(program), False):
             continue
-        parts = relations[program].child_constraint_parts(bits)
-        for _unmarked, marked in snapshots:
-            if not _intersect_all(marked, parts).is_false:
-                return program
+        if search(program, True) is None:
+            continue
+        other = 2 if program == 1 else 1
+        if bits.get(encoding.top_index(other), False):
+            if search(other, False) is None:
+                continue
+        return program, found
     raise ValueError(
-        "inconsistent solver state: a marked subtree has no marked branch; "
-        "this indicates a bug in the mark-tracking update"
+        "inconsistent solver state: a marked subtree has no branch routing "
+        "exactly one mark; this indicates a bug in the mark-tracking update"
     )
+
+
+def _search_child(
+    encoding: LeanEncoding,
+    relation: TransitionRelation,
+    snapshots: list[tuple[BDD, BDD]],
+    bits: dict[int, bool],
+    want_marked: bool,
+) -> dict[int, bool] | None:
+    """A compatible (un)marked witness from the earliest snapshot, or ``None``."""
+    parts = relation.child_constraint_parts(bits)
+    for unmarked, marked in snapshots:
+        candidates = _intersect_all(marked if want_marked else unmarked, parts)
+        if not candidates.is_false:
+            assignment = candidates.pick_assignment()
+            assert assignment is not None
+            return _bits_from_assignment(encoding, assignment)
+    return None
 
 
 def _find_child(
@@ -123,17 +195,13 @@ def _find_child(
     bits: dict[int, bool],
     want_marked: bool,
 ) -> dict[int, bool]:
-    parts = relation.child_constraint_parts(bits)
-    for unmarked, marked in snapshots:
-        candidates = _intersect_all(marked if want_marked else unmarked, parts)
-        if not candidates.is_false:
-            assignment = candidates.pick_assignment()
-            assert assignment is not None
-            return _bits_from_assignment(encoding, assignment)
-    raise ValueError(
-        "inconsistent solver state: a proved type has no witness in any "
-        "intermediate set; this indicates a bug in the update operation"
-    )
+    child_bits = _search_child(encoding, relation, snapshots, bits, want_marked)
+    if child_bits is None:
+        raise ValueError(
+            "inconsistent solver state: a proved type has no witness in any "
+            "intermediate set; this indicates a bug in the update operation"
+        )
+    return child_bits
 
 
 def _intersect_all(candidates: BDD, parts: list[BDD]) -> BDD:

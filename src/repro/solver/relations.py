@@ -97,6 +97,10 @@ class LeanEncoding:
             result = self.literal(self.lean.proposition_index(formula.label), primed)
         elif kind == sx.KIND_NPROP:
             result = ~self.literal(self.lean.proposition_index(formula.label), primed)
+        elif kind == sx.KIND_ATTR:
+            result = self._attribute_status(formula.label, primed)
+        elif kind == sx.KIND_NATTR:
+            result = ~self._attribute_status(formula.label, primed)
         elif kind == sx.KIND_START:
             result = self.start(primed)
         elif kind == sx.KIND_NSTART:
@@ -115,6 +119,22 @@ class LeanEncoding:
             raise ValueError(f"cannot compute the status of {formula!r}")
         self._status_cache[key] = result
         return result
+
+    def _attribute_status(self, name: str, primed: bool) -> BDD:
+        """The BDD of an attribute proposition ``@name``.
+
+        The wildcard ``@*`` is not a bit of its own: it is the disjunction of
+        every attribute bit of the lean (including the "other attribute" bit),
+        so its negation "no attribute at all" comes out right as well.
+        """
+        if name == sx.ANY_ATTRIBUTE:
+            result = self.manager.false()
+            for attribute in self.lean.attributes:
+                result = result | self.literal(
+                    self.lean.attribute_index(attribute), primed
+                )
+            return result
+        return self.literal(self.lean.attribute_index(name), primed)
 
     # -- the characteristic function of Types(ψ) ------------------------------------------
 

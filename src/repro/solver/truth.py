@@ -48,6 +48,13 @@ class TypeAssignment:
         """Whether the start proposition belongs to the type."""
         return sx.START in self.members
 
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names of the type, sorted (possibly empty)."""
+        return tuple(
+            sorted(item.label for item in self.members if item.kind == sx.KIND_ATTR)
+        )
+
     def has_parent_program(self, program: int) -> bool:
         """Whether ``⟨program⟩⊤`` belongs to the type."""
         return sx.dia(program, sx.TRUE) in self.members
@@ -93,6 +100,13 @@ def _status(
         result = formula in members
     elif kind == sx.KIND_NPROP:
         result = sx.prop(formula.label) not in members
+    elif kind == sx.KIND_ATTR:
+        if formula.label == sx.ANY_ATTRIBUTE:
+            result = any(item.kind == sx.KIND_ATTR for item in members)
+        else:
+            result = formula in members
+    elif kind == sx.KIND_NATTR:
+        result = not _status(sx.attr(formula.label), members, cache)
     elif kind == sx.KIND_START:
         result = sx.START in members
     elif kind == sx.KIND_NSTART:
@@ -135,10 +149,11 @@ def psi_types(lean: Lean, limit: int = 500_000) -> Iterator[TypeAssignment]:
     an enumeration that could never finish.
     """
     top_items = [sx.dia(program, sx.TRUE) for program in MODALITIES]
+    attribute_items = [sx.attr(name) for name in lean.attributes]
     modal_items = [
         item for item in lean.items if item.kind == sx.KIND_DIA and item.left is not sx.TRUE
     ]
-    optional_items = top_items + modal_items
+    optional_items = top_items + attribute_items + modal_items
 
     estimated = len(lean.propositions) * 2 * (2 ** len(optional_items))
     if estimated > limit:

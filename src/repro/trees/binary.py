@@ -18,12 +18,19 @@ from repro.trees.unranked import Tree
 
 @dataclass(frozen=True)
 class BinTree:
-    """A binary tree node: label, optional left/right subtrees, optional mark."""
+    """A binary tree node: label, optional left/right subtrees, optional mark,
+    and the attribute names carried by the node (presence only, sorted)."""
 
     label: str
     left: "BinTree | None" = None
     right: "BinTree | None" = None
     marked: bool = False
+    attributes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        normalised = tuple(sorted(set(self.attributes)))
+        if normalised != self.attributes:
+            object.__setattr__(self, "attributes", normalised)
 
     def size(self) -> int:
         """Number of nodes."""
@@ -77,6 +84,7 @@ def _forest_to_binary(forest: tuple[Tree, ...]) -> BinTree | None:
         _forest_to_binary(head.children),
         _forest_to_binary(rest),
         head.marked,
+        head.attributes,
     )
 
 
@@ -97,6 +105,6 @@ def binary_forest_to_unranked(node: BinTree | None) -> tuple[Tree, ...]:
     result: list[Tree] = []
     while node is not None:
         children = binary_forest_to_unranked(node.left)
-        result.append(Tree(node.label, children, node.marked))
+        result.append(Tree(node.label, children, node.marked, node.attributes))
         node = node.right
     return tuple(result)

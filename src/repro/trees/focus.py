@@ -49,6 +49,7 @@ class Enclosing:
     context: "Context"
     label: str
     marked: bool = False
+    attributes: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,15 @@ class FocusedTree:
         """Whether the node in focus carries the start mark (proposition ``s``)."""
         return self.tree.marked
 
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names carried by the node in focus."""
+        return self.tree.attributes
+
+    def has_attribute(self, name: str | None) -> bool:
+        """Whether the focus node carries attribute ``name`` (``None``/``"*"``: any)."""
+        return self.tree.has_attribute(name)
+
     # -- navigation ----------------------------------------------------------
 
     def follow(self, modality: int) -> "FocusedTree | None":
@@ -121,7 +131,9 @@ class FocusedTree:
         children = self.tree.children
         if not children:
             return None
-        enclosing = Enclosing(self.context, self.tree.label, self.tree.marked)
+        enclosing = Enclosing(
+            self.context, self.tree.label, self.tree.marked, self.tree.attributes
+        )
         return FocusedTree(children[0], Context((), enclosing, children[1:]))
 
     def _next_sibling(self) -> "FocusedTree | None":
@@ -143,6 +155,7 @@ class FocusedTree:
             enclosing.label,
             (self.tree,) + context.right,
             enclosing.marked,
+            enclosing.attributes,
         )
         return FocusedTree(rebuilt, enclosing.context)
 

@@ -1,9 +1,12 @@
 """Unranked labelled trees (the element structure of an XML document).
 
-The paper ignores attributes, text content and data values (Section 1 restricts
-the XPath fragment to the navigational core), so a document is simply a tree of
-element labels.  A node may carry the *start mark* used by the logic to record
-where XPath evaluation started (Section 3).
+The paper ignores text content and data values (Section 1 restricts the XPath
+fragment to the navigational core), so a document is a tree of element labels.
+Following the attribute extension of the companion thesis ("Logics for XML"),
+each node additionally carries a *set of attribute names*: attribute values
+stay out of the model, only presence matters.  A node may also carry the
+*start mark* used by the logic to record where XPath evaluation started
+(Section 3).
 """
 
 from __future__ import annotations
@@ -16,19 +19,31 @@ from repro.core.errors import ParseError
 
 @dataclass(frozen=True)
 class Tree:
-    """An unranked tree node: a label, an ordered tuple of children, and a mark.
+    """An unranked tree node: label, ordered children, mark, attribute names.
 
     Instances are immutable and hashable so they can be used inside the
-    focused-tree zipper and inside sets of focused trees.
+    focused-tree zipper and inside sets of focused trees.  ``attributes`` is
+    normalised to a sorted, duplicate-free tuple so two nodes with the same
+    attribute *set* compare equal regardless of construction order.
     """
 
     label: str
     children: tuple["Tree", ...] = ()
     marked: bool = False
+    attributes: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.children, tuple):
             object.__setattr__(self, "children", tuple(self.children))
+        normalised = tuple(sorted(set(self.attributes)))
+        if normalised != self.attributes:
+            object.__setattr__(self, "attributes", normalised)
+
+    def has_attribute(self, name: str | None) -> bool:
+        """Whether the node carries attribute ``name`` (``None``/``"*"``: any)."""
+        if name is None or name == "*":
+            return bool(self.attributes)
+        return name in self.attributes
 
     # -- structural helpers -------------------------------------------------
 
@@ -38,7 +53,12 @@ class Tree:
 
     def unmark_all(self) -> "Tree":
         """Return a copy of the whole tree with every mark removed."""
-        return Tree(self.label, tuple(c.unmark_all() for c in self.children), False)
+        return Tree(
+            self.label,
+            tuple(c.unmark_all() for c in self.children),
+            False,
+            self.attributes,
+        )
 
     def mark_at(self, path: tuple[int, ...]) -> "Tree":
         """Return a copy with the mark placed on the node at ``path``.
@@ -54,7 +74,7 @@ class Tree:
             raise IndexError(f"no child {index} under node {self.label!r}")
         new_children = list(self.children)
         new_children[index] = new_children[index].mark_at(rest)
-        return Tree(self.label, tuple(new_children), self.marked)
+        return Tree(self.label, tuple(new_children), self.marked, self.attributes)
 
     # -- traversal ----------------------------------------------------------
 
@@ -103,8 +123,9 @@ class Tree:
 
 
 # ---------------------------------------------------------------------------
-# Parsing / serialising a tiny XML-like syntax: <a><b/><c></c></a>
+# Parsing / serialising a tiny XML-like syntax: <a href=""><b/><c></c></a>
 # The start mark is written as a trailing "!" on the tag name: <a!/>.
+# Attributes are presence-only: any quoted value is accepted and discarded.
 # ---------------------------------------------------------------------------
 
 _NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:")
@@ -146,8 +167,10 @@ def parse_tree(text: str) -> Tree:
 
     The accepted syntax is ``<name> ... </name>`` and ``<name/>``; a ``!``
     immediately after the name marks the node as the start node, e.g.
-    ``<a><b!/></a>``.  Attributes, text content, comments and processing
-    instructions are rejected: the paper's data model has none of them.
+    ``<a><b!/></a>``.  Attributes are accepted as ``name`` or ``name="value"``
+    (single or double quotes); only the attribute's *presence* is recorded —
+    values lie outside the data model and are discarded.  Text content,
+    comments and processing instructions are rejected.
     """
     scanner = _XmlScanner(text)
     scanner.skip_ws()
@@ -158,6 +181,27 @@ def parse_tree(text: str) -> Tree:
     return tree
 
 
+def _parse_attributes(scanner: _XmlScanner) -> tuple[str, ...]:
+    attributes: list[str] = []
+    while True:
+        scanner.skip_ws()
+        if scanner.at("/>") or scanner.at(">"):
+            return tuple(attributes)
+        attributes.append(scanner.read_name())
+        scanner.skip_ws()
+        if scanner.at("="):
+            scanner.pos += 1
+            scanner.skip_ws()
+            if not (scanner.at('"') or scanner.at("'")):
+                raise scanner.error("expected a quoted attribute value")
+            quote = scanner.text[scanner.pos]
+            scanner.pos += 1
+            closing = scanner.text.find(quote, scanner.pos)
+            if closing < 0:
+                raise scanner.error("unterminated attribute value")
+            scanner.pos = closing + 1
+
+
 def _parse_element(scanner: _XmlScanner) -> Tree:
     scanner.expect("<")
     name = scanner.read_name()
@@ -165,10 +209,10 @@ def _parse_element(scanner: _XmlScanner) -> Tree:
     if scanner.at("!"):
         marked = True
         scanner.pos += 1
-    scanner.skip_ws()
+    attributes = _parse_attributes(scanner)
     if scanner.at("/>"):
         scanner.pos += 2
-        return Tree(name, (), marked)
+        return Tree(name, (), marked, attributes)
     scanner.expect(">")
     children: list[Tree] = []
     while True:
@@ -180,7 +224,7 @@ def _parse_element(scanner: _XmlScanner) -> Tree:
                 raise scanner.error(f"mismatched closing tag </{closing}> for <{name}>")
             scanner.skip_ws()
             scanner.expect(">")
-            return Tree(name, tuple(children), marked)
+            return Tree(name, tuple(children), marked, attributes)
         if scanner.at("<"):
             children.append(_parse_element(scanner))
         else:
@@ -198,20 +242,27 @@ def serialize_tree(tree: Tree, indent: int | None = None) -> str:
     return "\n".join(_serialize_pretty(tree, 0, indent))
 
 
+def _serialize_attributes(tree: Tree) -> str:
+    # Values are not part of the data model, so attributes render as name="".
+    return "".join(f' {name}=""' for name in tree.attributes)
+
+
 def _serialize_compact(tree: Tree) -> str:
     mark = "!" if tree.marked else ""
+    attrs = _serialize_attributes(tree)
     if not tree.children:
-        return f"<{tree.label}{mark}/>"
+        return f"<{tree.label}{mark}{attrs}/>"
     inner = "".join(_serialize_compact(child) for child in tree.children)
-    return f"<{tree.label}{mark}>{inner}</{tree.label}>"
+    return f"<{tree.label}{mark}{attrs}>{inner}</{tree.label}>"
 
 
 def _serialize_pretty(tree: Tree, level: int, indent: int) -> list[str]:
     pad = " " * (indent * level)
     mark = "!" if tree.marked else ""
+    attrs = _serialize_attributes(tree)
     if not tree.children:
-        return [f"{pad}<{tree.label}{mark}/>"]
-    lines = [f"{pad}<{tree.label}{mark}>"]
+        return [f"{pad}<{tree.label}{mark}{attrs}/>"]
+    lines = [f"{pad}<{tree.label}{mark}{attrs}>"]
     for child in tree.children:
         lines.extend(_serialize_pretty(child, level + 1, indent))
     lines.append(f"{pad}</{tree.label}>")

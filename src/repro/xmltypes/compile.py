@@ -16,11 +16,35 @@ with the successor formulas handling the type frontier::
 Only downward modalities occur: a type formula describes the subtree allowed
 at a node and leaves its context unconstrained, which is exactly what makes it
 composable with the XPath translation in the decision problems of Section 8.
+
+**Attribute constraints** (the thesis extension).  When a DTD carries
+``<!ATTLIST ...>`` declarations, :func:`compile_dtd` can additionally conjoin
+per-element attribute constraints.  Because one bit per attribute name would
+blow the Lean up on real DTDs (XHTML declares dozens of names), the
+constraints are *projected onto a finite attribute alphabet* — normally the
+attribute names the surrounding problem's XPath expressions mention.  The
+projection is sound and complete for presence-based queries: for every
+attribute ``a`` in the alphabet and every element ``σ``,
+
+* ``@a`` is conjoined when ``a`` is ``#REQUIRED`` on ``σ``,
+* ``¬@a`` is conjoined when ``σ`` does not declare ``a`` at all
+  (valid documents cannot carry undeclared attributes),
+* nothing is conjoined otherwise (the attribute is optional).
+
+When the alphabet contains the "other attribute" marker (because a query used
+``@*``), the marker bit is additionally pinned down wherever the DTD decides
+it: an element with a ``#REQUIRED`` attribute outside the named alphabet gets
+``@other`` (it always carries an attribute only the marker can account for),
+and an element whose declared attributes all lie inside the alphabet gets
+``¬@other`` (it has no way to carry an attribute the alphabet cannot name).
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Mapping
+
 from repro.logic import syntax as sx
+from repro.logic.closure import OTHER_ATTRIBUTE
 from repro.xmltypes.ast import Alternative, BinaryTypeGrammar, LabelAlternative
 from repro.xmltypes.binarize import binarize_dtd
 from repro.xmltypes.dtd import DTD
@@ -46,16 +70,29 @@ def _successor(
     return sx.dia(program, reference)
 
 
+def _attribute_constraint(
+    attribute_constraints: Mapping[str, sx.Formula] | None, label: str
+) -> sx.Formula:
+    if attribute_constraints is None:
+        return sx.TRUE
+    return attribute_constraints.get(label, sx.TRUE)
+
+
 def _alternative_formula(
-    grammar: BinaryTypeGrammar, alternative: Alternative, names: dict[str, str]
+    grammar: BinaryTypeGrammar,
+    alternative: Alternative,
+    names: dict[str, str],
+    attribute_constraints: Mapping[str, sx.Formula] | None = None,
 ) -> sx.Formula:
     if not isinstance(alternative, LabelAlternative):
         # The ε alternative contributes no formula: a node cannot be the empty
         # tree.  Emptiness is expressed by the parent's succ_α(¬⟨α⟩⊤) clause.
         return sx.FALSE
+    constraint = _attribute_constraint(attribute_constraints, alternative.label)
     return sx.big_and(
         (
             sx.prop(alternative.label),
+            constraint,
             _successor(grammar, 1, alternative.first, names.get(alternative.first, alternative.first)),
             _successor(grammar, 2, alternative.next, names.get(alternative.next, alternative.next)),
         )
@@ -63,7 +100,9 @@ def _alternative_formula(
 
 
 def compile_grammar(
-    grammar: BinaryTypeGrammar, constrain_siblings: bool = True
+    grammar: BinaryTypeGrammar,
+    constrain_siblings: bool = True,
+    attribute_constraints: Mapping[str, sx.Formula] | None = None,
 ) -> sx.Formula:
     """Translate a binary type grammar into a closed Lµ formula.
 
@@ -76,6 +115,10 @@ def compile_grammar(
     paper's remark that a type compared against the *result* of an XPath
     expression should not fix where the root of the type is: selected nodes
     usually sit deep inside a document and do have following siblings.
+
+    ``attribute_constraints`` optionally maps element labels to a formula
+    conjoined at every node carrying that label (used by :func:`compile_dtd`
+    for required/forbidden-attribute constraints).
     """
     reachable = grammar.reachable_variables()
     names = {
@@ -91,17 +134,21 @@ def compile_grammar(
             # Never referenced through ⟨α⟩X (succ_α short-circuits them).
             continue
         body = sx.big_or(
-            _alternative_formula(grammar, alternative, names)
+            _alternative_formula(grammar, alternative, names, attribute_constraints)
             for alternative in grammar.alternatives(variable)
         )
         definitions.append((names[variable], body))
 
     def start_alternative(alternative: Alternative) -> sx.Formula:
         if constrain_siblings or not isinstance(alternative, LabelAlternative):
-            return _alternative_formula(grammar, alternative, names)
-        return sx.mk_and(
-            sx.prop(alternative.label),
-            _successor(grammar, 1, alternative.first, names.get(alternative.first, alternative.first)),
+            return _alternative_formula(grammar, alternative, names, attribute_constraints)
+        constraint = _attribute_constraint(attribute_constraints, alternative.label)
+        return sx.big_and(
+            (
+                sx.prop(alternative.label),
+                constraint,
+                _successor(grammar, 1, alternative.first, names.get(alternative.first, alternative.first)),
+            )
         )
 
     start_formula = sx.big_or(
@@ -113,9 +160,64 @@ def compile_grammar(
     return sx.mu(tuple(definitions), start_formula)
 
 
+def attribute_constraints(
+    dtd: DTD, attributes: Iterable[str]
+) -> dict[str, sx.Formula]:
+    """Per-element attribute constraints projected onto ``attributes``.
+
+    ``attributes`` is the finite attribute alphabet the surrounding problem
+    observes (usually the names mentioned by its XPath expressions); it may
+    contain :data:`~repro.logic.closure.OTHER_ATTRIBUTE` to account for the
+    wildcard ``@*``.  See the module docstring for the projection rules.
+    """
+    alphabet = tuple(dict.fromkeys(attributes))
+    named = [name for name in alphabet if name != OTHER_ATTRIBUTE]
+    track_other = OTHER_ATTRIBUTE in alphabet
+    constraints: dict[str, sx.Formula] = {}
+    if not alphabet:
+        return constraints
+    for element in dtd.element_names():
+        declared = {decl.name for decl in dtd.attributes_of(element)}
+        required = set(dtd.required_attributes(element))
+        parts: list[sx.Formula] = []
+        for name in named:
+            if name in required:
+                parts.append(sx.attr(name))
+            elif name not in declared:
+                parts.append(sx.nattr(name))
+        if track_other:
+            if required - set(named):
+                # A required attribute without a bit of its own is always
+                # present, so the "other attribute" bit must be on.
+                parts.append(sx.attr(OTHER_ATTRIBUTE))
+            elif declared <= set(named):
+                # Every attribute the element may legally carry already has a
+                # bit of its own, so the "other attribute" bit must stay off.
+                parts.append(sx.nattr(OTHER_ATTRIBUTE))
+        formula = sx.big_and(parts)
+        if formula is not sx.TRUE:
+            constraints[element] = formula
+    return constraints
+
+
 def compile_dtd(
-    dtd: DTD, root: str | None = None, constrain_siblings: bool = True
+    dtd: DTD,
+    root: str | None = None,
+    constrain_siblings: bool = True,
+    attributes: Iterable[str] | None = None,
 ) -> sx.Formula:
-    """Translate a DTD (with designated root element) into a closed Lµ formula."""
+    """Translate a DTD (with designated root element) into a closed Lµ formula.
+
+    ``attributes`` is the attribute alphabet to project the DTD's ATTLIST
+    declarations onto (``None`` or empty: attributes are unconstrained, the
+    attribute-free behaviour of the paper).
+    """
     grammar = binarize_dtd(dtd, root=root)
-    return compile_grammar(grammar, constrain_siblings=constrain_siblings)
+    constraints = (
+        attribute_constraints(dtd, attributes) if attributes is not None else None
+    )
+    return compile_grammar(
+        grammar,
+        constrain_siblings=constrain_siblings,
+        attribute_constraints=constraints or None,
+    )

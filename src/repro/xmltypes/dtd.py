@@ -7,9 +7,14 @@ Supported declarations:
   built from sequences ``,``, choices ``|`` and the ``?``, ``*``, ``+``
   occurrence operators;
 * ``<!ENTITY % name "replacement">`` parameter entities and their references
-  ``%name;`` (the XHTML DTD makes heavy use of them);
-* ``<!ATTLIST ...>`` declarations and comments are recognised and ignored —
-  attributes and data values are outside the paper's XPath fragment.
+  ``%name;`` (the XHTML DTD makes heavy use of them, both in content models
+  and in attribute lists);
+* ``<!ATTLIST element (name type default)*>`` declarations, with the types
+  ``CDATA``, the tokenised types (``ID``, ``IDREF``, ``NMTOKEN``, ...),
+  ``NOTATION`` lists and enumerations, and the defaults ``#REQUIRED``,
+  ``#IMPLIED``, ``#FIXED "v"`` and plain default values.  Attribute *values*
+  stay outside the data model: the analyses only use which attributes an
+  element declares and which of them are required.
 """
 
 from __future__ import annotations
@@ -29,13 +34,50 @@ class ElementDeclaration:
     content: cm.ContentModel
 
 
+#: Attribute default kinds (the ``DefaultDecl`` production of XML 1.0).
+REQUIRED = "#REQUIRED"
+IMPLIED = "#IMPLIED"
+FIXED = "#FIXED"
+DEFAULTED = "#DEFAULT"
+
+
+@dataclass(frozen=True)
+class AttributeDeclaration:
+    """One attribute definition from an ``<!ATTLIST ...>`` declaration.
+
+    ``attribute_type`` is the declared type keyword (``CDATA``, ``ID``, ...)
+    or ``"enumeration"`` for ``(tok | tok | ...)`` lists, whose tokens are
+    kept in ``values``.  ``default`` is one of :data:`REQUIRED`,
+    :data:`IMPLIED`, :data:`FIXED` or :data:`DEFAULTED`; ``value`` holds the
+    fixed/default attribute value when one was declared.
+    """
+
+    name: str
+    attribute_type: str = "CDATA"
+    values: tuple[str, ...] = ()
+    default: str = IMPLIED
+    value: str | None = None
+
+    @property
+    def required(self) -> bool:
+        """Whether a valid element must carry the attribute.
+
+        Only ``#REQUIRED`` forces the attribute to be physically present;
+        ``#FIXED`` and plain defaults are supplied by validators, so their
+        attributes may be absent from the serialised document.
+        """
+        return self.default == REQUIRED
+
+
 @dataclass
 class DTD:
-    """A parsed DTD: element declarations plus a designated root element."""
+    """A parsed DTD: element and attribute declarations plus a designated root."""
 
     elements: dict[str, ElementDeclaration] = field(default_factory=dict)
     root: str | None = None
     name: str = "dtd"
+    #: Attribute declarations per element name, in declaration order.
+    attlists: dict[str, tuple[AttributeDeclaration, ...]] = field(default_factory=dict)
 
     def element_names(self) -> tuple[str, ...]:
         """Declared element names, in declaration order."""
@@ -44,11 +86,35 @@ class DTD:
     def content_of(self, name: str) -> cm.ContentModel:
         return self.elements[name].content
 
+    def attributes_of(self, name: str) -> tuple[AttributeDeclaration, ...]:
+        """The attribute declarations of an element (empty when none)."""
+        return self.attlists.get(name, ())
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """Every attribute name declared anywhere in the DTD, sorted."""
+        return tuple(
+            sorted({decl.name for decls in self.attlists.values() for decl in decls})
+        )
+
+    def declares_attribute(self, element: str, attribute: str) -> bool:
+        return any(decl.name == attribute for decl in self.attributes_of(element))
+
+    def required_attributes(self, element: str) -> tuple[str, ...]:
+        """The ``#REQUIRED`` attribute names of an element, in order."""
+        return tuple(
+            decl.name for decl in self.attributes_of(element) if decl.required
+        )
+
     def with_root(self, root: str) -> "DTD":
         """A copy of the DTD with a different designated root element."""
         if root not in self.elements:
             raise ValueError(f"element {root!r} is not declared by this DTD")
-        return DTD(elements=dict(self.elements), root=root, name=self.name)
+        return DTD(
+            elements=dict(self.elements),
+            root=root,
+            name=self.name,
+            attlists=dict(self.attlists),
+        )
 
     def symbol_count(self) -> int:
         """Number of element symbols (the "Symbols" column of Table 1)."""
@@ -57,9 +123,12 @@ class DTD:
 
 _COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
 _ENTITY_RE = re.compile(r'<!ENTITY\s+%\s+([\w.\-]+)\s+"([^"]*)"\s*>')
-_ATTLIST_RE = re.compile(r"<!ATTLIST\b.*?>", re.DOTALL)
-_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w.\-]+)\s+(.*?)>", re.DOTALL)
+# The body may contain '>' inside quoted default values (legal per XML 1.0),
+# so the declaration only ends at a '>' outside quotes.
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+((?:[^>\"']|\"[^\"]*\"|'[^']*')*)>", re.DOTALL)
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w.\-:]+)\s+(.*?)>", re.DOTALL)
 _PE_REF_RE = re.compile(r"%([\w.\-]+);")
+_NAME_RE = re.compile(r"[\w.\-:]+")
 
 
 def parse_dtd(text: str, root: str | None = None, name: str = "dtd") -> DTD:
@@ -83,9 +152,21 @@ def parse_dtd(text: str, root: str | None = None, name: str = "dtd") -> DTD:
         return result
 
     stripped = _ENTITY_RE.sub(" ", without_comments)
-    stripped = _ATTLIST_RE.sub(" ", stripped)
 
     dtd = DTD(name=name)
+    for match in _ATTLIST_RE.finditer(stripped):
+        element_name, declarations = _parse_attlist(expand(match.group(1)))
+        # Per XML 1.0 (section 3.3), later declarations of the same attribute
+        # are ignored and multiple ATTLISTs for one element are merged.
+        merged = list(dtd.attlists.get(element_name, ()))
+        known = {declaration.name for declaration in merged}
+        for declaration in declarations:
+            if declaration.name not in known:
+                merged.append(declaration)
+                known.add(declaration.name)
+        dtd.attlists[element_name] = tuple(merged)
+
+    stripped = _ATTLIST_RE.sub(" ", stripped)
     for match in _ELEMENT_RE.finditer(stripped):
         element_name = match.group(1)
         spec = expand(match.group(2)).strip()
@@ -125,6 +206,120 @@ def _parse_content_spec(spec: str, element_name: str) -> cm.ContentModel:
     return model
 
 
+#: The non-enumerated attribute types of XML 1.0.
+_ATTRIBUTE_TYPE_KEYWORDS = (
+    "CDATA",
+    "IDREFS",
+    "IDREF",
+    "ID",
+    "ENTITIES",
+    "ENTITY",
+    "NMTOKENS",
+    "NMTOKEN",
+)
+
+
+class _AttlistParser:
+    """Scanner for the body of an (entity-expanded) ``<!ATTLIST ...>``."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(f"in <!ATTLIST ...>: {message}", self.pos, self.text)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        match = _NAME_RE.match(self.text, self.pos)
+        if match is None:
+            raise self.error("expected a name")
+        self.pos = match.end()
+        return match.group(0)
+
+    def accept(self, string: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(string, self.pos):
+            self.pos += len(string)
+            return True
+        return False
+
+    def read_quoted(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in "\"'":
+            raise self.error("expected a quoted attribute value")
+        quote = self.text[self.pos]
+        closing = self.text.find(quote, self.pos + 1)
+        if closing < 0:
+            raise self.error("unterminated attribute value")
+        value = self.text[self.pos + 1:closing]
+        self.pos = closing + 1
+        return value
+
+    def read_enumeration(self) -> tuple[str, ...]:
+        tokens = [self.read_name()]
+        while self.accept("|"):
+            tokens.append(self.read_name())
+        if not self.accept(")"):
+            raise self.error("expected ')' closing an enumeration")
+        return tuple(tokens)
+
+    def read_declaration(self) -> AttributeDeclaration:
+        attribute_name = self.read_name()
+        values: tuple[str, ...] = ()
+        if self.accept("("):
+            attribute_type = "enumeration"
+            values = self.read_enumeration()
+        else:
+            keyword = self.read_name()
+            if keyword == "NOTATION":
+                if not self.accept("("):
+                    raise self.error("expected '(' after NOTATION")
+                attribute_type = "NOTATION"
+                values = self.read_enumeration()
+            elif keyword in _ATTRIBUTE_TYPE_KEYWORDS:
+                attribute_type = keyword
+            else:
+                raise self.error(f"unknown attribute type {keyword!r}")
+        default = IMPLIED
+        value: str | None = None
+        if self.accept("#REQUIRED"):
+            default = REQUIRED
+        elif self.accept("#IMPLIED"):
+            default = IMPLIED
+        elif self.accept("#FIXED"):
+            default = FIXED
+            value = self.read_quoted()
+        else:
+            default = DEFAULTED
+            value = self.read_quoted()
+        return AttributeDeclaration(
+            name=attribute_name,
+            attribute_type=attribute_type,
+            values=values,
+            default=default,
+            value=value,
+        )
+
+
+def _parse_attlist(text: str) -> tuple[str, tuple[AttributeDeclaration, ...]]:
+    """Parse the (entity-expanded) body of an ``<!ATTLIST ...>`` declaration."""
+    parser = _AttlistParser(text.strip())
+    element_name = parser.read_name()
+    declarations: list[AttributeDeclaration] = []
+    while not parser.at_end():
+        declarations.append(parser.read_declaration())
+    return element_name, tuple(declarations)
+
+
 class _ContentParser:
     """Recursive-descent parser for children and mixed content models."""
 
@@ -160,10 +355,10 @@ class _ContentParser:
 
     def read_name(self) -> str:
         self.skip_ws()
-        match = re.match(r"[\w.\-]+", self.text[self.pos:])
+        match = _NAME_RE.match(self.text, self.pos)
         if match is None:
             raise self.error("expected an element name")
-        self.pos += match.end()
+        self.pos = match.end()
         return match.group(0)
 
     def parse(self) -> cm.ContentModel:

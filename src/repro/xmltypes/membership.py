@@ -72,3 +72,45 @@ def dtd_accepts(dtd: DTD, document: Tree, root: str | None = None) -> bool:
         return all(valid(child) for child in node.children)
 
     return valid(document)
+
+
+def dtd_attribute_violations(
+    dtd: DTD, document: Tree, alphabet: tuple[str, ...] | None = None
+) -> list[str]:
+    """Attribute inconsistencies of a document against the DTD's ATTLISTs.
+
+    Checks, for every element node, that ``#REQUIRED`` attributes are present
+    and that present attributes are declared.  ``alphabet`` restricts both
+    checks to the given attribute names — pass the projection alphabet used
+    when compiling the type so that counterexample documents (which only
+    carry attributes the problem could observe) validate exactly.  The
+    placeholder name (:data:`repro.solver.models.FRESH_ATTRIBUTE`, a solver
+    model's "any other attribute") is only accepted on elements that declare
+    at least one attribute outside the alphabet.  Returns human-readable
+    violation strings (empty: consistent).
+    """
+    from repro.solver.models import FRESH_ATTRIBUTE
+
+    violations: list[str] = []
+    for node in document.iter_nodes():
+        declared = {decl.name for decl in dtd.attributes_of(node.label)}
+        required = set(dtd.required_attributes(node.label))
+        if alphabet is not None:
+            required &= set(alphabet)
+        for name in sorted(required - set(node.attributes)):
+            violations.append(f"<{node.label}> is missing required attribute {name!r}")
+        for name in node.attributes:
+            if name == FRESH_ATTRIBUTE:
+                named = set(alphabet) if alphabet is not None else set()
+                if not (declared - named):
+                    violations.append(
+                        f"<{node.label}> carries an undeclarable extra attribute"
+                    )
+                continue
+            if alphabet is not None and name not in alphabet:
+                continue
+            if name not in declared:
+                violations.append(
+                    f"<{node.label}> carries undeclared attribute {name!r}"
+                )
+    return violations

@@ -3,14 +3,25 @@
 The grammar is::
 
     e ::= /p | p | e₁ ∪ e₂ | e₁ ∩ e₂          expressions
-    p ::= p₁/p₂ | p[q] | a::σ | a::* | (p₁ | p₂)   paths
-    q ::= q₁ and q₂ | q₁ or q₂ | not q | p     qualifiers
+    p ::= p₁/p₂ | p[q] | a::σ | a::* | @l | @* | (p₁ | p₂)   paths
+    q ::= q₁ and q₂ | q₁ or q₂ | not q | p | /p   qualifiers
     a ::= child | self | parent | descendant | desc-or-self | ancestor
         | anc-or-self | foll-sibling | prec-sibling | following | preceding
 
 The parenthesised path union ``(p₁ | p₂)`` is a small extension of Figure 4
 needed to express the paper's own benchmark query e10, ``html/(head | body)``;
 it translates like an expression union applied mid-path.
+
+Two further extensions follow the companion thesis ("Logics for XML"):
+
+* attribute steps ``@l`` / ``@*`` (surface syntax also ``attribute::l``).
+  They are only meaningful in *trailing* position of a path or inside a
+  qualifier, where they test the presence of an attribute on the selected
+  element — attribute nodes themselves are not part of the tree model, so a
+  trailing attribute step selects the element carrying the attribute;
+* absolute paths inside qualifiers (``a[//b]``, ``a[/b/c]``), marked by
+  :attr:`QualifierPath.absolute`, which anchor at the document root as XPath
+  1.0 prescribes rather than at the filtered node.
 """
 
 from __future__ import annotations
@@ -72,6 +83,21 @@ class Step:
 
 
 @dataclass(frozen=True)
+class AttributeStep:
+    """An attribute step ``@name`` / ``attribute::name`` (``None`` for ``@*``).
+
+    Attribute presence is a property of the element itself, so the step does
+    not navigate: in trailing or qualifier position it keeps the elements that
+    carry the attribute.
+    """
+
+    name: str | None = None
+
+    def __str__(self) -> str:
+        return f"@{self.name if self.name is not None else '*'}"
+
+
+@dataclass(frozen=True)
 class PathCompose:
     """Path composition ``p₁/p₂``."""
 
@@ -104,10 +130,39 @@ class PathUnion:
         return f"({self.left} | {self.right})"
 
 
-Path = Union[Step, PathCompose, QualifiedPath, PathUnion]
+Path = Union[Step, AttributeStep, PathCompose, QualifiedPath, PathUnion]
+
+
+def ends_in_attribute(path: "Path") -> bool:
+    """Whether the path's final step is an attribute step.
+
+    Used by the parser and the translations to enforce that attribute steps
+    only occur in trailing (or qualifier) position: ``a/@href/b`` is
+    meaningless in a model without attribute nodes.
+    """
+    if isinstance(path, AttributeStep):
+        return True
+    if isinstance(path, PathCompose):
+        return ends_in_attribute(path.second)
+    if isinstance(path, QualifiedPath):
+        return ends_in_attribute(path.path)
+    if isinstance(path, PathUnion):
+        return ends_in_attribute(path.left) or ends_in_attribute(path.right)
+    return False
 
 
 # -- Qualifiers ---------------------------------------------------------------
+
+
+def _format_operand(qualifier: "Qualifier") -> str:
+    """Render an operand of ``and``, parenthesising lower-precedence ``or``.
+
+    ``or`` binds weaker than ``and``; printing a ``QualifierOr`` bare inside a
+    ``QualifierAnd`` would re-parse with the wrong precedence (the printer
+    must satisfy ``parse(str(q)) == q``).
+    """
+    text = str(qualifier)
+    return f"({text})" if isinstance(qualifier, QualifierOr) else text
 
 
 @dataclass(frozen=True)
@@ -116,7 +171,7 @@ class QualifierAnd:
     right: "Qualifier"
 
     def __str__(self) -> str:
-        return f"{self.left} and {self.right}"
+        return f"{_format_operand(self.left)} and {_format_operand(self.right)}"
 
 
 @dataclass(frozen=True)
@@ -138,12 +193,18 @@ class QualifierNot:
 
 @dataclass(frozen=True)
 class QualifierPath:
-    """A qualifier that tests the existence of a path."""
+    """A qualifier that tests the existence of a path.
+
+    With ``absolute=True`` the path anchors at the document root (XPath 1.0
+    semantics of ``a[//b]`` / ``a[/b]``) instead of at the filtered node.
+    """
 
     path: Path
+    absolute: bool = False
 
     def __str__(self) -> str:
-        return str(self.path)
+        prefix = "/" if self.absolute else ""
+        return f"{prefix}{self.path}"
 
 
 Qualifier = Union[QualifierAnd, QualifierOr, QualifierNot, QualifierPath]
@@ -195,3 +256,45 @@ class ExprIntersection:
 
 
 Expr = Union[AbsolutePath, RelativePath, ExprUnion, ExprIntersection]
+
+
+def collect_attributes(node: "Expr | Path | Qualifier") -> tuple[set[str], bool]:
+    """The attribute names mentioned by an expression, plus a wildcard flag.
+
+    Returns ``(names, wildcard)`` where ``names`` are the labels of every
+    named attribute step and ``wildcard`` is True when ``@*`` /
+    ``attribute::*`` occurs somewhere.  The analysis problems use this to
+    project type constraints onto the attribute alphabet a problem can
+    actually observe.
+    """
+    names: set[str] = set()
+    wildcard = False
+
+    def walk(current) -> None:
+        nonlocal wildcard
+        if isinstance(current, AttributeStep):
+            if current.name is None:
+                wildcard = True
+            else:
+                names.add(current.name)
+        elif isinstance(current, (AbsolutePath, RelativePath)):
+            walk(current.path)
+        elif isinstance(current, (ExprUnion, ExprIntersection, PathUnion)):
+            walk(current.left)
+            walk(current.right)
+        elif isinstance(current, PathCompose):
+            walk(current.first)
+            walk(current.second)
+        elif isinstance(current, QualifiedPath):
+            walk(current.path)
+            walk(current.qualifier)
+        elif isinstance(current, (QualifierAnd, QualifierOr)):
+            walk(current.left)
+            walk(current.right)
+        elif isinstance(current, QualifierNot):
+            walk(current.inner)
+        elif isinstance(current, QualifierPath):
+            walk(current.path)
+
+    walk(node)
+    return names, wildcard

@@ -15,6 +15,13 @@ anchors it at the root of the document while requiring the marked context node
 to exist below.  Proposition 5.1 states (and the test-suite checks) that the
 translation agrees with the denotational semantics, is cycle-free, and has
 size linear in the size of the expression and of ``χ``.
+
+Attribute steps (the thesis extension) translate to attribute propositions on
+the element in focus: ``P→[[@l]](χ) = @l ∧ χ`` and symmetrically in filtering
+mode — the step does not navigate, because attribute presence is a property
+of the element itself.  Absolute paths inside qualifiers anchor at a
+top-level node of the document containing the filtered node, mirroring the
+root context used for absolute expressions.
 """
 
 from __future__ import annotations
@@ -71,9 +78,23 @@ def translate_axis_filter(axis: xp.Axis, context: sx.Formula) -> sx.Formula:
 # -- paths: navigational mode P→ (Figure 8) ---------------------------------------
 
 
+def _attribute_proposition(step: xp.AttributeStep) -> sx.Formula:
+    name = step.name if step.name is not None else sx.ANY_ATTRIBUTE
+    return sx.attr(name)
+
+
+def _check_attribute_position(path: xp.Path) -> None:
+    if xp.ends_in_attribute(path):
+        raise ValueError(
+            f"attribute step in non-trailing position of {path}: attribute "
+            "steps select no tree node to continue navigating from"
+        )
+
+
 def translate_path(path: xp.Path, context: sx.Formula) -> sx.Formula:
     """``P→[[path]](context)``: holds at the target nodes of ``path``."""
     if isinstance(path, xp.PathCompose):
+        _check_attribute_position(path.first)
         return translate_path(path.second, translate_path(path.first, context))
     if isinstance(path, xp.QualifiedPath):
         return sx.mk_and(
@@ -89,6 +110,10 @@ def translate_path(path: xp.Path, context: sx.Formula) -> sx.Formula:
         if path.label is None:
             return axis_formula
         return sx.mk_and(sx.prop(path.label), axis_formula)
+    if isinstance(path, xp.AttributeStep):
+        # The selected node is the element carrying the attribute; no
+        # navigation happens (attribute nodes are not part of the model).
+        return sx.mk_and(_attribute_proposition(path), context)
     raise AssertionError(f"unknown path node {path!r}")
 
 
@@ -110,13 +135,23 @@ def translate_qualifier(qualifier: xp.Qualifier, context: sx.Formula) -> sx.Form
     if isinstance(qualifier, xp.QualifierNot):
         return negate(translate_qualifier(qualifier.inner, context))
     if isinstance(qualifier, xp.QualifierPath):
-        return translate_path_filter(qualifier.path, context)
+        exists = translate_path_filter(qualifier.path, context)
+        if qualifier.absolute:
+            # The path anchors at the document root: the filtered node must be
+            # reachable (via descendant-or-self) from a top-level node from
+            # which the path exists — the qualifier analogue of the root
+            # context used for absolute expressions.
+            return translate_axis(
+                xp.Axis.DESC_OR_SELF, sx.mk_and(_at_top_level(), exists)
+            )
+        return exists
     raise AssertionError(f"unknown qualifier node {qualifier!r}")
 
 
 def translate_path_filter(path: xp.Path, context: sx.Formula) -> sx.Formula:
     """``P←[[path]](context)``: states the existence of ``path`` without moving."""
     if isinstance(path, xp.PathCompose):
+        _check_attribute_position(path.first)
         return translate_path_filter(path.first, translate_path_filter(path.second, context))
     if isinstance(path, xp.QualifiedPath):
         inner = sx.mk_and(context, translate_qualifier(path.qualifier, sx.TRUE))
@@ -130,20 +165,36 @@ def translate_path_filter(path: xp.Path, context: sx.Formula) -> sx.Formula:
         if path.label is None:
             return translate_axis_filter(path.axis, context)
         return translate_axis_filter(path.axis, sx.mk_and(context, sx.prop(path.label)))
+    if isinstance(path, xp.AttributeStep):
+        return sx.mk_and(_attribute_proposition(path), context)
     raise AssertionError(f"unknown path node {path!r}")
 
 
 # -- expressions: E→ (Figure 8, top) ---------------------------------------------------
 
 
+def _at_top_level() -> sx.Formula:
+    """Holds exactly at top-level nodes (the document root and its siblings).
+
+    The leftmost top-level node has neither a parent nor a previous sibling;
+    the others reach it through the previous-sibling chain.  The base case
+    must rule *both* converse modalities out: ``¬⟨1̄⟩⊤`` alone also holds at
+    every non-first sibling deep in the document (a right child of the
+    binary encoding has no parent edge), which would anchor absolute paths
+    at arbitrary inner nodes.
+    """
+    return sx.mu1(
+        lambda z: sx.mk_and(sx.no_dia(-1), sx.no_dia(-2)) | sx.dia(-2, z)
+    )
+
+
 def _root_context(context: sx.Formula) -> sx.Formula:
     """Context formula for absolute paths: "I am at the top level and the
     marked context node (satisfying ``context``) occurs in the document"."""
-    at_top_level = sx.mu1(lambda z: sx.no_dia(-1) | sx.dia(-2, z))
     mark_below = sx.mu1(
         lambda y: sx.mk_and(context, sx.START) | sx.dia(1, y) | sx.dia(2, y)
     )
-    return sx.mk_and(at_top_level, mark_below)
+    return sx.mk_and(_at_top_level(), mark_below)
 
 
 def translate_expression(expr: xp.Expr, context: sx.Formula) -> sx.Formula:

@@ -12,14 +12,27 @@ fragment of Figure 4:
 * a leading ``/`` for absolute paths and a leading ``.//`` or ``//`` for
   relative/absolute descendant navigation;
 * qualifiers between square brackets combined with ``and``, ``or`` and
-  ``not(...)``;
+  ``not(...)``; inside qualifiers a leading ``/`` or ``//`` anchors the path
+  at the *document root* (XPath 1.0 semantics: ``a[//b]`` asks whether the
+  document contains a ``b``, not whether ``a`` does);
+* attribute steps ``@name``, ``@*`` and the unabbreviated forms
+  ``attribute::name`` / ``attribute::*``, in trailing or qualifier position
+  only (the tree model has no attribute nodes to continue navigating from);
+* qualified names such as ``xsl:template`` or ``xml:lang`` wherever a name
+  test or attribute name is expected;
 * expression union ``e1 | e2`` and intersection ``e1 intersect e2`` (the
   paper writes ``∩``, which is also accepted), plus parenthesised path unions
   such as ``html/(head | body)``.
+
+Constructs of full XPath that fall outside the fragment — positional
+predicates like ``[1]``, node-type tests like ``text()``, functions like
+``position()`` — are rejected with a targeted error message rather than a
+generic "unexpected character".
 """
 
 from __future__ import annotations
 
+import functools
 import re
 
 from repro.core.errors import ParseError
@@ -44,8 +57,18 @@ _AXIS_NAMES: dict[str, xp.Axis] = {
 }
 
 _TOKEN_RE = re.compile(
-    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)"
-    r"|(?P<symbol>::|//|/|\[|\]|\(|\)|\||∩|&|\*|\.\.|\.))"
+    # A name is a QName: an optional single-colon prefix part is folded into
+    # the token (the double colon of an axis is never consumed because the
+    # optional group requires a name-start character right after the colon).
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*(?::[A-Za-z_][A-Za-z0-9_.\-]*)?)"
+    r"|(?P<number>[0-9]+)"
+    r"|(?P<symbol>::|//|/|\[|\]|\(|\)|\||∩|&|\*|\.\.|\.|@))"
+)
+
+#: XPath node-type tests and functions recognised only to produce a targeted
+#: "outside the fragment" error instead of an opaque one.
+_UNSUPPORTED_FUNCTIONS = frozenset(
+    {"text", "node", "comment", "processing-instruction", "position", "last", "count"}
 )
 
 _STAR_STEP = xp.Step(xp.Axis.DESC_OR_SELF, None)
@@ -61,8 +84,17 @@ class _Tokens:
                 break
             match = _TOKEN_RE.match(text, pos)
             if match is None:
+                stripped = text[pos:].lstrip()
+                offset = pos + (len(text[pos:]) - len(stripped))
+                if stripped[:1] in ("=", "<", ">", "'", '"'):
+                    raise ParseError(
+                        "value comparisons are outside the supported fragment "
+                        "(only element and attribute presence is modelled)",
+                        offset,
+                        text,
+                    )
                 raise ParseError("unexpected character in XPath expression", pos, text)
-            for group in ("name", "symbol"):
+            for group in ("name", "number", "symbol"):
                 value = match.group(group)
                 if value is not None:
                     self.items.append((group, value, match.start(group)))
@@ -117,6 +149,17 @@ def parse_xpath(text: str) -> xp.Expr:
     return expr
 
 
+@functools.lru_cache(maxsize=4096)
+def parse_xpath_cached(text: str) -> xp.Expr:
+    """Memoised :func:`parse_xpath` (safe: the AST is immutable).
+
+    The analysis layers consult an expression twice per problem — once for
+    its attribute alphabet, once for the translation — and the batch façade
+    re-reduces cached queries; this keeps those re-parses to a dict lookup.
+    """
+    return parse_xpath(text)
+
+
 # -- expressions: union / intersection -----------------------------------------
 
 
@@ -167,6 +210,14 @@ def _parse_relative_path(tokens: _Tokens) -> xp.Path:
         token = tokens.peek()
         if token is None:
             return path
+        if token[1] in ("/", "//"):
+            if xp.ends_in_attribute(path):
+                raise ParseError(
+                    "attribute steps select no tree node to navigate from and "
+                    "may only appear in trailing or qualifier position",
+                    token[2],
+                    tokens.text,
+                )
         if token[1] == "//":
             tokens.next()
             path = xp.PathCompose(xp.PathCompose(path, _STAR_STEP), _parse_step(tokens))
@@ -199,15 +250,36 @@ def _parse_step(tokens: _Tokens) -> xp.Path:
         tokens.next()
         return _parse_qualifiers(tokens, xp.Step(xp.Axis.CHILD, None))
 
+    if value == "@":
+        tokens.next()
+        return _parse_qualifiers(tokens, _parse_attribute_test(tokens))
+
+    if kind == "number":
+        raise ParseError(
+            "positional predicates are outside the supported fragment "
+            "(the logic has no counting)",
+            position,
+            tokens.text,
+        )
+
     if kind == "name":
         following = tokens.peek(1)
+        if following is not None and following[1] == "(" and value in _UNSUPPORTED_FUNCTIONS:
+            raise ParseError(
+                f"{value}() is outside the supported fragment (only element "
+                "and attribute tests are available)",
+                position,
+                tokens.text,
+            )
         if following is not None and following[1] == "::":
             axis_name = value
+            tokens.next()
+            tokens.next()  # '::'
+            if axis_name == "attribute":
+                return _parse_qualifiers(tokens, _parse_attribute_test(tokens))
             axis = _AXIS_NAMES.get(axis_name)
             if axis is None:
                 raise ParseError(f"unknown axis {axis_name!r}", position, tokens.text)
-            tokens.next()
-            tokens.next()  # '::'
             test_token = tokens.peek()
             if test_token is None:
                 raise ParseError("expected a node test", len(tokens.text), tokens.text)
@@ -224,6 +296,20 @@ def _parse_step(tokens: _Tokens) -> xp.Path:
         return _parse_qualifiers(tokens, xp.Step(xp.Axis.CHILD, value))
 
     raise ParseError(f"unexpected token {value!r} in path", position, tokens.text)
+
+
+def _parse_attribute_test(tokens: _Tokens) -> xp.AttributeStep:
+    """The test after ``@`` or ``attribute::``: a (qualified) name or ``*``."""
+    token = tokens.peek()
+    if token is None:
+        raise ParseError("expected an attribute name", len(tokens.text), tokens.text)
+    if token[1] == "*":
+        tokens.next()
+        return xp.AttributeStep(None)
+    if token[0] == "name":
+        tokens.next()
+        return xp.AttributeStep(token[1])
+    raise ParseError("expected an attribute name", token[2], tokens.text)
 
 
 def _parse_path_union(tokens: _Tokens) -> xp.Path:
@@ -278,16 +364,20 @@ def _parse_qualifier_atom(tokens: _Tokens) -> xp.Qualifier:
         inner = _parse_qualifier_or(tokens)
         tokens.expect(")")
         return inner
-    path = _parse_qualifier_path(tokens)
-    return xp.QualifierPath(path)
+    return _parse_qualifier_path(tokens)
 
 
-def _parse_qualifier_path(tokens: _Tokens) -> xp.Path:
-    # Inside qualifiers, paths may start with "." or "//" (e.g. ".//b[c]").
+def _parse_qualifier_path(tokens: _Tokens) -> xp.QualifierPath:
+    # Inside qualifiers, paths may start with "." (e.g. ".//b[c]") for
+    # navigation relative to the filtered node, or with "/" or "//" for paths
+    # anchored at the *document root*: per XPath 1.0, "a[//b]" asks whether
+    # the document contains a b, not whether a has a b descendant.
     token = tokens.peek()
     if token is not None and token[1] == "//":
         tokens.next()
         rest = _parse_relative_path(tokens)
-        return xp.PathCompose(_STAR_STEP, rest)
-    path = _parse_relative_path(tokens)
-    return path
+        return xp.QualifierPath(xp.PathCompose(_STAR_STEP, rest), absolute=True)
+    if token is not None and token[1] == "/":
+        tokens.next()
+        return xp.QualifierPath(_parse_relative_path(tokens), absolute=True)
+    return xp.QualifierPath(_parse_relative_path(tokens))

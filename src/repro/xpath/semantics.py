@@ -119,6 +119,10 @@ def path_function(path: xp.Path, nodes: FocusSet) -> FocusSet:
         if path.label is None:
             return selected
         return frozenset(f for f in selected if f.name == path.label)
+    if isinstance(path, xp.AttributeStep):
+        # Attribute presence is a property of the element: the step filters
+        # the current nodes without navigating (there are no attribute nodes).
+        return frozenset(f for f in nodes if f.has_attribute(path.name))
     raise AssertionError(f"unknown path node {path!r}")
 
 
@@ -135,7 +139,11 @@ def qualifier_holds(qualifier: xp.Qualifier, focus: FocusedTree) -> bool:
     if isinstance(qualifier, xp.QualifierNot):
         return not qualifier_holds(qualifier.inner, focus)
     if isinstance(qualifier, xp.QualifierPath):
-        return bool(path_function(qualifier.path, frozenset({focus})))
+        start = frozenset({focus})
+        if qualifier.absolute:
+            # Absolute qualifier paths anchor at the document root (XPath 1.0).
+            start = _root(start)
+        return bool(path_function(qualifier.path, start))
     raise AssertionError(f"unknown qualifier node {qualifier!r}")
 
 

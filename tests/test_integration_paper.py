@@ -72,16 +72,21 @@ def test_table2_row2_e3_and_e4_are_equivalent():
 
 def test_table2_row3_e6_versus_e5():
     # With e5 exactly as printed in Figure 21 the containment fails and the
-    # solver exhibits a counterexample (see EXPERIMENTS.md); with the
-    # descendant variant of e5 the containment holds, matching the verdict
-    # embedded in Table 2.
+    # solver exhibits a counterexample (see EXPERIMENTS.md).
     as_printed = check_containment(FIGURE_21[6], FIGURE_21[5])
     assert not as_printed.holds
     assert as_printed.counterexample is not None
-    descendant_variant = check_containment(FIGURE_21[6], "a//c/following::d/e")
-    assert descendant_variant.holds
+    # ``[//c]`` now follows XPath 1.0 and anchors at the *document root*, so
+    # the printed e6 admits documents whose ``c`` lies outside the ``a``
+    # subtree and is not contained in the descendant variant of e5 either.
+    assert not check_containment(FIGURE_21[6], "a//c/following::d/e").holds
+    # Table 2's verdict corresponds to the relative reading of the qualifier,
+    # which is written ``.//c`` in XPath: under it the containment holds.
+    relative_reading = "a/b[.//c]/following::d/e ∩ a/d[preceding::c]/e"
+    assert check_containment(relative_reading, "a//c/following::d/e").holds
     # The reverse containment does not hold in either reading (e5 ⊄ e6).
     assert not check_containment("a//c/following::d/e", FIGURE_21[6]).holds
+    assert not check_containment("a//c/following::d/e", relative_reading).holds
 
 
 @pytest.mark.slow
