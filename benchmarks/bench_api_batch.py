@@ -13,79 +13,30 @@ This benchmark replays the fast rows of Table 2 several times and compares
 
 The measured speedup is asserted to be at least 1.5× and written to
 ``BENCH_api_batch.json`` together with the per-path timings so the perf
-trajectory stays machine-readable across PRs.
+trajectory stays machine-readable across PRs.  The measurement itself lives
+in :func:`repro.cli.bench.run_api_batch`, shared with the ``repro bench``
+subcommand so the CLI and the suite can never drift apart.
 """
 
-import time
-
-from conftest import FIGURE_21, write_bench_json, write_report
-from repro.api import Query, StaticAnalyzer
-
-#: How many times the workload repeats each Table 2 query.
-_REPEATS = 3
-
-#: Minimum required advantage of the batched path over cold per-query solves.
-_REQUIRED_SPEEDUP = 1.5
-
-
-def _table2_queries() -> list[Query]:
-    """The fast rows of Table 2 (the SMIL/XHTML rows live in the slow suite)."""
-    return [
-        Query.containment(FIGURE_21["e1"], FIGURE_21["e2"]),
-        Query.containment(FIGURE_21["e2"], FIGURE_21["e1"]),
-        Query.equivalence(FIGURE_21["e3"], FIGURE_21["e4"]),
-        Query.containment(FIGURE_21["e6"], FIGURE_21["e5"]),
-        Query.satisfiability("child::meta/child::title", "wikipedia"),
-        Query.containment("child::history", "child::history[edit]", "wikipedia", "wikipedia"),
-    ]
+from conftest import write_bench_json, write_report
+from repro.cli.bench import API_BATCH_REQUIRED_SPEEDUP as _REQUIRED_SPEEDUP
+from repro.cli.bench import run_api_batch
 
 
 def test_api_batch_speedup():
-    workload = _table2_queries() * _REPEATS
-
-    # Cold path: a fresh analyzer per query — no sharing whatsoever.
-    cold_started = time.perf_counter()
-    cold_outcomes = [StaticAnalyzer().solve(query) for query in workload]
-    cold_seconds = time.perf_counter() - cold_started
-
-    # Batched path: one analyzer for the whole workload.
-    analyzer = StaticAnalyzer()
-    report = analyzer.solve_many(workload)
-    batch_seconds = report.total_seconds
-
-    # Both paths must agree on every verdict.
-    for cold, batched in zip(cold_outcomes, report.outcomes):
-        assert cold.holds == batched.holds, cold.problem
-
-    speedup = cold_seconds / batch_seconds
+    payload = run_api_batch()
+    speedup = payload["speedup"]
     lines = [
-        f"workload: {len(workload)} queries ({_REPEATS}x Table 2 fast rows)",
-        f"cold per-query solves: {cold_seconds * 1000:8.1f} ms",
-        f"batched solve_many:    {batch_seconds * 1000:8.1f} ms "
-        f"({report.solver_runs} solver runs, {report.cache_hits} cache hits)",
+        f"workload: {payload['workload_queries']} queries "
+        f"({payload['repeats']}x Table 2 fast rows)",
+        f"cold per-query solves: {payload['cold_seconds'] * 1000:8.1f} ms",
+        f"batched solve_many:    {payload['batch_seconds'] * 1000:8.1f} ms "
+        f"({payload['solver_runs']} solver runs, {payload['cache_hits']} cache hits)",
         f"speedup: {speedup:.2f}x (required >= {_REQUIRED_SPEEDUP}x)",
     ]
     write_report("api_batch", lines)
-    write_bench_json(
-        "api_batch",
-        {
-            "benchmark": "StaticAnalyzer.solve_many vs cold per-query solves",
-            "workload_queries": len(workload),
-            "repeats": _REPEATS,
-            "cold_seconds": round(cold_seconds, 6),
-            "batch_seconds": round(batch_seconds, 6),
-            "speedup": round(speedup, 3),
-            "required_speedup": _REQUIRED_SPEEDUP,
-            "solver_runs": report.solver_runs,
-            "cache_hits": report.cache_hits,
-            "cache_statistics": analyzer.cache_statistics(),
-            "outcomes": [
-                {"problem": outcome.problem, "holds": outcome.holds}
-                for outcome in report.outcomes[: len(workload) // _REPEATS]
-            ],
-        },
-    )
+    write_bench_json("api_batch", payload)
     assert speedup >= _REQUIRED_SPEEDUP, (
         f"batched path only {speedup:.2f}x faster than cold solves "
-        f"(cold {cold_seconds:.3f}s vs batch {batch_seconds:.3f}s)"
+        f"(cold {payload['cold_seconds']:.3f}s vs batch {payload['batch_seconds']:.3f}s)"
     )

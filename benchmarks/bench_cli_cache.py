@@ -1,0 +1,42 @@
+"""Cross-process persistent-cache benchmark — the CLI acceptance run.
+
+Streams a 50-query JSONL workload through ``repro serve`` twice, in two
+separate OS processes sharing one ``--cache-dir``.  The first (cold cache)
+process runs the solver once per distinct Lµ formula and writes each verdict
+through to the content-addressed disk cache of :mod:`repro.cache`; the second
+process — equally cold *in memory*, and translating with different fresh
+recursion-variable names — must answer the identical workload with **zero**
+solver runs: every distinct formula a disk hit, every repeat an in-memory
+hit.  Verdicts must be byte-for-byte identical across the two runs.
+
+The measurement lives in :func:`repro.cli.bench.run_cli_cache` (shared with
+the ``repro bench cli-cache`` subcommand); this wrapper asserts the
+acceptance criteria and writes ``BENCH_cli_cache.json``.
+"""
+
+from conftest import write_bench_json, write_report
+from repro.cli.bench import run_cli_cache
+
+
+def test_cli_cache_cold_process_replay():
+    payload = run_cli_cache()
+    first, second = payload["first_process"], payload["second_process"]
+
+    lines = [
+        f"workload: {payload['workload_queries']} JSONL queries "
+        f"({payload['distinct_problems']} distinct problems)",
+        f"first process (cold cache): {first['wall_seconds'] * 1000:8.1f} ms, "
+        f"{first['solver_runs']} solver runs, {first['disk_cache_writes']} entries written",
+        f"second process (warm disk): {second['wall_seconds'] * 1000:8.1f} ms, "
+        f"{second['solver_runs']} solver runs, {second['disk_cache_hits']} disk hits, "
+        f"{second['solve_cache_hits']} memory hits",
+        f"replay speedup: {payload['replay_speedup']:.1f}x",
+    ]
+    write_report("cli_cache", lines)
+    write_bench_json("cli_cache", payload)
+
+    # The acceptance criterion: a cold process replaying the batch performs
+    # zero solver runs — everything is answered from the persistent cache.
+    assert second["solver_runs"] == 0, second
+    assert second["disk_cache_hits"] == first["disk_cache_writes"] > 0
+    assert first["solver_runs"] > 0  # the first process really did the work

@@ -42,18 +42,7 @@ def write_bench_json(name: str, payload: dict) -> Path:
     return path
 
 
-#: The twelve benchmark XPath expressions of Figure 21.
-FIGURE_21 = {
-    "e1": "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
-    "e2": "/a[.//b[c/*//d]/b[c/d]]",
-    "e3": "a/b//c/foll-sibling::d/e",
-    "e4": "a/b//d[prec-sibling::c]/e",
-    "e5": "a/c/following::d/e",
-    "e6": "a/b[//c]/following::d/e ∩ a/d[preceding::c]/e",
-    "e7": "*//switch[ancestor::head]//seq//audio[prec-sibling::video]",
-    "e8": "descendant::a[ancestor::a]",
-    "e9": "/descendant::*",
-    "e10": "html/(head | body)",
-    "e11": "html/head/descendant::*",
-    "e12": "html/body/descendant::*",
-}
+#: The twelve benchmark XPath expressions of Figure 21; the corpus lives in
+#: :mod:`repro.cli.bench` (shared with ``repro bench``) and is re-exported
+#: here for the benchmark files.
+from repro.cli.bench import FIGURE_21  # noqa: E402  (needs the sys.path insert)

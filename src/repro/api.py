@@ -19,6 +19,11 @@ being redone per call:
    every later occurrence is answered from cache.  This is where batch
    workloads win: containment, emptiness and equivalence checks over the same
    schema keep meeting the same sub-translations and often the same formulas.
+4. **Persistent solve cache** (opt-in) — constructing the analyzer with
+   ``cache_dir=...`` writes every solver verdict through to an on-disk,
+   content-addressed store (:mod:`repro.cache`) and consults it on in-memory
+   misses, so a *cold process* replaying a workload answered by an earlier
+   process performs zero solver runs.
 
 Results are plain data: every :class:`AnalysisOutcome` (and the
 :class:`BatchReport` returned by :meth:`StaticAnalyzer.solve_many`) converts
@@ -68,9 +73,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.analysis.problems import relevant_attributes, type_inclusion_attributes
+from repro.cache import DiskSolveCache, SolveRecord
+from repro.core.errors import ReproError, UnsupportedTypeError
 from repro.logic import syntax as sx
 from repro.logic.negation import negate
-from repro.solver.symbolic import SolverResult, SymbolicSolver
+from repro.solver.symbolic import SymbolicSolver
 from repro.trees.unranked import serialize_tree
 from repro.xmltypes.ast import BinaryTypeGrammar
 from repro.xmltypes.compile import compile_dtd, compile_grammar
@@ -233,8 +240,20 @@ class AnalysisOutcome:
     solve_seconds: float
     statistics: dict
     counterexample: str | None = None
+    #: Which cache layer answered: ``"memory"``, ``"disk"``, or ``None`` when
+    #: the solver actually ran (always ``None`` for error outcomes).
+    cache: str | None = None
+    #: Machine-readable failure: the exception class name (``"ParseError"``,
+    #: ``"KeyError"``, ...) and its message.  ``None`` on success.
+    error_kind: str | None = None
+    error: str | None = None
     #: For equivalence queries: the two directed containment outcomes.
     parts: list["AnalysisOutcome"] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the query was analysed (its ``holds`` verdict is valid)."""
+        return self.error is None
 
     @property
     def time_ms(self) -> float:
@@ -248,9 +267,13 @@ class AnalysisOutcome:
             "holds": self.holds,
             "satisfiable": self.satisfiable,
             "from_cache": self.from_cache,
+            "cache": self.cache,
             "solve_seconds": round(self.solve_seconds, 6),
             "statistics": self.statistics,
             "counterexample": self.counterexample,
+            "error": None
+            if self.error is None
+            else {"kind": self.error_kind, "message": self.error},
         }
         if self.parts:
             result["parts"] = [part.as_dict() for part in self.parts]
@@ -268,6 +291,13 @@ class BatchReport:
     total_seconds: float
     solver_runs: int
     cache_hits: int
+    #: Verdicts answered from the persistent cache (0 without ``cache_dir``).
+    disk_cache_hits: int = 0
+
+    @property
+    def errors(self) -> int:
+        """Number of outcomes that are structured errors (``not outcome.ok``)."""
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
 
     def as_dict(self) -> dict:
         return {
@@ -275,10 +305,23 @@ class BatchReport:
             "total_seconds": round(self.total_seconds, 6),
             "solver_runs": self.solver_runs,
             "cache_hits": self.cache_hits,
+            "disk_cache_hits": self.disk_cache_hits,
+            "errors": self.errors,
         }
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.as_dict(), **kwargs)
+
+
+#: Input-shaped failures that :meth:`StaticAnalyzer.solve` converts into
+#: structured error outcomes instead of raising.  Everything input-shaped is
+#: a :class:`repro.core.errors.ReproError` subclass: parser errors, solver
+#: limits, unknown built-in schema names (``SchemaLookupError``, also a
+#: :class:`KeyError`) and unsupported type-constraint objects
+#: (``UnsupportedTypeError``, also a :class:`TypeError`).  A plain
+#: ``KeyError``/``TypeError`` out of the translation or solver internals is a
+#: bug and still raises.
+ANALYSIS_ERRORS = (ReproError,)
 
 
 class StaticAnalyzer:
@@ -289,6 +332,14 @@ class StaticAnalyzer:
     respect to the caches: a cached answer is always the answer the solver
     would produce — the solve cache is keyed by the (hash-consed) Lµ formula,
     the translation caches by the expression/type pair they translate.
+
+    With ``cache_dir`` set, solver verdicts are additionally written through
+    to a :class:`repro.cache.DiskSolveCache` rooted at that directory and
+    looked up there on in-memory misses, so a fresh process replaying a
+    workload another process has answered performs zero solver runs.  The
+    disk cache is content-addressed by the canonical formula (alpha-invariant
+    across processes) and safe under concurrent writers; see
+    :mod:`repro.cache`.
     """
 
     def __init__(
@@ -297,23 +348,31 @@ class StaticAnalyzer:
         monolithic_relation: bool = False,
         interleaved_order: bool = True,
         track_marks: bool = True,
+        cache_dir: str | None = None,
     ):
         self.early_quantification = early_quantification
         self.monolithic_relation = monolithic_relation
         self.interleaved_order = interleaved_order
         self.track_marks = track_marks
+        self.disk_cache = (
+            None
+            if cache_dir is None
+            else DiskSolveCache(cache_dir, track_marks=track_marks)
+        )
         # (type key, constrain_siblings) -> compiled type formula.
         self._type_cache: dict[tuple, sx.Formula] = {}
         # (expression text, type key) -> compiled query formula.
         self._query_cache: dict[tuple, sx.Formula] = {}
-        # Lµ formula (hash-consed, so identity == structure) -> SolverResult.
-        self._solve_cache: dict[sx.Formula, SolverResult] = {}
+        # Lµ formula (hash-consed, so identity == structure) -> SolveRecord.
+        self._solve_cache: dict[sx.Formula, SolveRecord] = {}
         # Strong references keeping id()-keyed type objects alive (one entry
         # per distinct object, tracked via _pinned_ids).
         self._type_refs: list[object] = []
         self._pinned_ids: set[int] = set()
         self.solver_runs = 0
         self.solve_cache_hits = 0
+        self.disk_cache_hits = 0
+        self.disk_cache_writes = 0
 
     # -- caching layers ----------------------------------------------------------
 
@@ -364,7 +423,7 @@ class StaticAnalyzer:
         elif isinstance(resolved, BinaryTypeGrammar):
             formula = compile_grammar(resolved, constrain_siblings=constrain_siblings)
         else:
-            raise TypeError(f"unsupported type constraint {resolved!r}")
+            raise UnsupportedTypeError(f"unsupported type constraint {resolved!r}")
         self._type_cache[key] = formula
         return formula
 
@@ -396,12 +455,22 @@ class StaticAnalyzer:
         self._query_cache[key] = formula
         return formula
 
-    def _solve(self, formula: sx.Formula) -> tuple[SolverResult, bool]:
-        """Solve a formula, answering from the solve cache when possible."""
-        cached = self._solve_cache.get(formula)
-        if cached is not None:
+    def _solve(self, formula: sx.Formula) -> tuple[SolveRecord, str | None]:
+        """Solve a formula, answering from a cache layer when possible.
+
+        Returns the verdict record plus the layer that answered: ``"memory"``,
+        ``"disk"``, or ``None`` when the solver actually ran.
+        """
+        record = self._solve_cache.get(formula)
+        if record is not None:
             self.solve_cache_hits += 1
-            return cached, True
+            return record, "memory"
+        if self.disk_cache is not None:
+            record = self.disk_cache.get(formula)
+            if record is not None:
+                self.disk_cache_hits += 1
+                self._solve_cache[formula] = record
+                return record, "disk"
         solver = SymbolicSolver(
             formula,
             early_quantification=self.early_quantification,
@@ -411,11 +480,25 @@ class StaticAnalyzer:
         )
         result = solver.solve()
         self.solver_runs += 1
-        self._solve_cache[formula] = result
-        return result, False
+        document = result.model_document()
+        record = SolveRecord(
+            satisfiable=result.satisfiable,
+            counterexample=None if document is None else serialize_tree(document),
+            statistics=result.statistics.as_dict(),
+            solve_seconds=result.statistics.solve_seconds,
+        )
+        self._solve_cache[formula] = record
+        if self.disk_cache is not None:
+            self.disk_cache.put(formula, record)
+            self.disk_cache_writes += 1
+        return record, None
 
     def clear_caches(self) -> None:
-        """Drop every cached translation and solver verdict."""
+        """Drop every in-memory cached translation and solver verdict.
+
+        The persistent cache (if any) is left untouched; clear it explicitly
+        with ``analyzer.disk_cache.clear()``.
+        """
         self._type_cache.clear()
         self._query_cache.clear()
         self._solve_cache.clear()
@@ -429,18 +512,43 @@ class StaticAnalyzer:
             "solve_cache_entries": len(self._solve_cache),
             "solver_runs": self.solver_runs,
             "solve_cache_hits": self.solve_cache_hits,
+            "disk_cache_hits": self.disk_cache_hits,
+            "disk_cache_writes": self.disk_cache_writes,
         }
 
     # -- single queries ----------------------------------------------------------
 
     def solve(self, query: Query) -> AnalysisOutcome:
-        """Answer one query (cached); see :class:`Query` for the kinds."""
-        kind = query.kind
-        if kind == "equivalence":
+        """Answer one query (cached); see :class:`Query` for the kinds.
+
+        Input-shaped failures — a malformed expression, an unknown built-in
+        schema name, an unsupported type object — are returned as structured
+        error outcomes (``outcome.ok`` is False, ``outcome.error`` carries
+        the message) rather than raised, so one bad query never aborts a
+        :meth:`solve_many` batch.  Programming errors still raise.
+        """
+        if query.kind == "equivalence":
             return self._equivalence(query)
-        formula, problem, positive = self._reduce(query)
-        result, hit = self._solve(formula)
-        return self._outcome(query, problem, result, hit, positive)
+        try:
+            formula, problem, positive = self._reduce(query)
+            record, source = self._solve(formula)
+        except ANALYSIS_ERRORS as exc:
+            return self._error_outcome(query, exc)
+        return self._outcome(query, problem, record, source, positive)
+
+    def _error_outcome(self, query: Query, exc: Exception) -> AnalysisOutcome:
+        return AnalysisOutcome(
+            query=query,
+            problem=f"{query.kind} (failed)",
+            holds=False,
+            satisfiable=False,
+            from_cache=False,
+            solve_seconds=0.0,
+            statistics={},
+            counterexample=None,
+            error_kind=type(exc).__name__,
+            error=str(exc),
+        )
 
     def _reduce(self, query: Query) -> tuple[sx.Formula, str, bool]:
         """Reduce a (non-equivalence) query to one satisfiability question.
@@ -509,6 +617,20 @@ class StaticAnalyzer:
         type1, type2 = query.types
         forward = self.solve(Query.containment(expr1, expr2, type1, type2))
         backward = self.solve(Query.containment(expr2, expr1, type2, type1))
+        if not forward.ok or not backward.ok:
+            broken = forward if not forward.ok else backward
+            return AnalysisOutcome(
+                query=query,
+                problem=f"{query.kind} (failed)",
+                holds=False,
+                satisfiable=False,
+                from_cache=False,
+                solve_seconds=0.0,
+                statistics={},
+                error_kind=broken.error_kind,
+                error=broken.error,
+                parts=[forward, backward],
+            )
         failed = forward if not forward.holds else backward
         return AnalysisOutcome(
             query=query,
@@ -529,20 +651,21 @@ class StaticAnalyzer:
         self,
         query: Query,
         problem: str,
-        result: SolverResult,
-        from_cache: bool,
+        record: SolveRecord,
+        source: str | None,
         positive: bool,
     ) -> AnalysisOutcome:
-        document = result.model_document()
+        from_cache = source is not None
         return AnalysisOutcome(
             query=query,
             problem=problem,
-            holds=result.satisfiable if positive else not result.satisfiable,
-            satisfiable=result.satisfiable,
+            holds=record.satisfiable if positive else not record.satisfiable,
+            satisfiable=record.satisfiable,
             from_cache=from_cache,
-            solve_seconds=0.0 if from_cache else result.statistics.solve_seconds,
-            statistics=result.statistics.as_dict(),
-            counterexample=None if document is None else serialize_tree(document),
+            cache=source,
+            solve_seconds=0.0 if from_cache else record.solve_seconds,
+            statistics=dict(record.statistics),
+            counterexample=record.counterexample,
         )
 
     # -- batch -------------------------------------------------------------------
@@ -557,6 +680,7 @@ class StaticAnalyzer:
         """
         runs_before = self.solver_runs
         hits_before = self.solve_cache_hits
+        disk_before = self.disk_cache_hits
         started = time.perf_counter()
         outcomes = [self.solve(query) for query in queries]
         return BatchReport(
@@ -564,6 +688,7 @@ class StaticAnalyzer:
             total_seconds=time.perf_counter() - started,
             solver_runs=self.solver_runs - runs_before,
             cache_hits=self.solve_cache_hits - hits_before,
+            disk_cache_hits=self.disk_cache_hits - disk_before,
         )
 
 

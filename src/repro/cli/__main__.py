@@ -1,0 +1,8 @@
+"""``python -m repro.cli`` — the console entry point from a source checkout."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""``repro analyze`` — one-shot decision problems from the command line.
+
+Queries come either from the positional arguments (one expression →
+satisfiability, two → containment, unless ``--kind`` says otherwise) or from
+a ``--batch`` file in the wire format of :mod:`repro.cli.wire`.  The full
+:class:`repro.api.BatchReport` is printed to stdout as JSON; exit code 0
+means every query was analysed, 1 that at least one produced a structured
+error outcome (malformed expression, unknown schema, ...), 2 that the
+invocation itself was unusable (bad flags, unreadable batch file).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.api import StaticAnalyzer
+from repro.cli import wire
+
+#: Exit codes of ``repro analyze`` (and ``repro serve``, which only uses 0/2).
+EXIT_OK = 0
+EXIT_ANALYSIS_ERROR = 1
+EXIT_USAGE = 2
+
+
+def default_kind(expression_count: int) -> str | None:
+    """The implied ``--kind`` for bare positional expressions."""
+    return {1: "satisfiability", 2: "containment"}.get(expression_count)
+
+
+def request_payloads(args) -> list[dict]:
+    """The request objects this invocation describes (see module docstring)."""
+    if args.batch:
+        if args.exprs or args.kind or args.types:
+            raise wire.WireError("--batch cannot be combined with inline queries")
+        return wire.read_batch(args.batch)
+    kind = args.kind or default_kind(len(args.exprs))
+    if kind is None:
+        raise wire.WireError(
+            f"--kind is required for {len(args.exprs)} expressions "
+            "(only 1 or 2 have an implied kind)"
+        )
+    payload = {"kind": kind, "exprs": list(args.exprs)}
+    if args.types:
+        payload["types"] = list(args.types)
+    return [payload]
+
+
+def run(args) -> int:
+    try:
+        payloads = request_payloads(args)
+        if not payloads:
+            raise wire.WireError("no queries to analyze")
+    except (OSError, wire.WireError) as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    # Convert what converts; wire-format failures become error entries in the
+    # report (mirroring the analyzer's structured error outcomes) so one bad
+    # batch line never hides the verdicts of the others.
+    analyzer = StaticAnalyzer(cache_dir=args.cache_dir)
+    dtd_cache: wire.DTDCache = {}
+    queries, conversion_errors = [], {}
+    for position, payload in enumerate(payloads):
+        try:
+            queries.append(wire.query_from_dict(payload, dtd_cache))
+        except (wire.WireError, ValueError) as exc:
+            # Same shape as AnalysisOutcome.as_dict() so consumers of the
+            # outcomes array never meet a second schema.
+            conversion_errors[position] = {
+                "query": payload,
+                "problem": f"{payload.get('kind', 'query') if isinstance(payload, dict) else 'query'} (failed)",
+                "holds": False,
+                "satisfiable": False,
+                "from_cache": False,
+                "cache": None,
+                "solve_seconds": 0.0,
+                "statistics": {},
+                "counterexample": None,
+                "error": wire.error_payload(exc),
+            }
+
+    report = analyzer.solve_many(queries)
+    solved = iter(report.outcomes)
+    outcomes = [
+        conversion_errors[position]
+        if position in conversion_errors
+        else next(solved).as_dict()
+        for position in range(len(payloads))
+    ]
+    document = report.as_dict()
+    document["outcomes"] = outcomes
+    document["errors"] = report.errors + len(conversion_errors)
+    document["cache_statistics"] = analyzer.cache_statistics()
+
+    indent = None if args.compact else 2
+    print(json.dumps(document, ensure_ascii=False, indent=indent))
+    return EXIT_OK if document["errors"] == 0 else EXIT_ANALYSIS_ERROR

@@ -1,0 +1,251 @@
+"""``repro bench`` — re-emit the machine-readable ``BENCH_*.json`` reports.
+
+Two benchmarks are built in (the pytest wrappers under ``benchmarks/`` call
+the same functions, so the numbers cannot drift between the CLI and the
+suite):
+
+* ``api-batch`` → ``BENCH_api_batch.json`` — one warm
+  :meth:`repro.api.StaticAnalyzer.solve_many` pass over repeated Table 2
+  queries vs. cold per-query analyzers.
+* ``cli-cache`` → ``BENCH_cli_cache.json`` — the cross-process acceptance
+  run: a 50-query JSONL batch streamed through ``repro serve`` twice, in two
+  separate processes sharing one ``--cache-dir``.  The second (cold) process
+  must answer every query without a single solver run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import StaticAnalyzer
+from repro.cli import wire
+
+BENCHMARKS = ("api-batch", "cli-cache")
+
+#: The twelve benchmark XPath expressions of Figure 21 — the single home of
+#: this corpus (benchmarks/conftest.py re-exports it for the pytest files).
+FIGURE_21 = {
+    "e1": "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
+    "e2": "/a[.//b[c/*//d]/b[c/d]]",
+    "e3": "a/b//c/foll-sibling::d/e",
+    "e4": "a/b//d[prec-sibling::c]/e",
+    "e5": "a/c/following::d/e",
+    "e6": "a/b[//c]/following::d/e ∩ a/d[preceding::c]/e",
+    "e7": "*//switch[ancestor::head]//seq//audio[prec-sibling::video]",
+    "e8": "descendant::a[ancestor::a]",
+    "e9": "/descendant::*",
+    "e10": "html/(head | body)",
+    "e11": "html/head/descendant::*",
+    "e12": "html/body/descendant::*",
+}
+
+#: The fast rows of Table 2 (Figure 21 queries; SMIL/XHTML rows are slow).
+TABLE2_FAST = (
+    ("containment", [FIGURE_21["e1"], FIGURE_21["e2"]], None),
+    ("containment", [FIGURE_21["e2"], FIGURE_21["e1"]], None),
+    ("equivalence", [FIGURE_21["e3"], FIGURE_21["e4"]], None),
+    ("containment", [FIGURE_21["e6"], FIGURE_21["e5"]], None),
+)
+
+#: The workload base of ``api-batch`` (the 6 queries bench_api_batch.py has
+#: always replayed: Table 2 fast rows plus two Wikipedia-typed problems).
+API_BATCH_BASE = TABLE2_FAST + (
+    ("satisfiability", ["child::meta/child::title"], ["wikipedia"]),
+    ("containment", ["child::history", "child::history[edit]"], ["wikipedia"]),
+)
+
+#: Distinct building blocks of the 50-query ``cli-cache`` workload.
+_CLI_CACHE_BASE = API_BATCH_BASE + (
+    ("emptiness", ["child::title/child::meta"], ["wikipedia"]),
+    ("satisfiability", ["descendant::a[ancestor::a]"], ["xhtml-core"]),
+    ("overlap", ["a//b", "a/b"], None),
+    ("coverage", ["child::a", "child::b", "child::a"], None),
+)
+
+
+def _query_from_spec(kind, exprs, types):
+    payload = {"kind": kind, "exprs": exprs}
+    if types is not None:
+        payload["types"] = types
+    return wire.query_from_dict(payload)
+
+
+def cli_cache_workload(repeats: int = 5) -> list[dict]:
+    """The 50-query JSONL workload (10 distinct problems × ``repeats``)."""
+    requests = []
+    for repeat in range(repeats):
+        for position, (kind, exprs, types) in enumerate(_CLI_CACHE_BASE):
+            payload = {
+                "id": repeat * len(_CLI_CACHE_BASE) + position,
+                "kind": kind,
+                "exprs": exprs,
+            }
+            if types is not None:
+                payload["types"] = types
+            requests.append(payload)
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# api-batch
+# ---------------------------------------------------------------------------
+
+
+#: Threshold asserted by benchmarks/bench_api_batch.py and recorded in the
+#: payload, so the CLI and pytest producers emit an identical schema.
+API_BATCH_REQUIRED_SPEEDUP = 1.5
+
+
+def run_api_batch(repeats: int = 3) -> dict:
+    """Warm ``solve_many`` vs. cold per-query analyzers on Table 2 fast rows."""
+    workload = [_query_from_spec(*spec) for spec in API_BATCH_BASE] * repeats
+
+    cold_started = time.perf_counter()
+    cold_outcomes = [StaticAnalyzer().solve(query) for query in workload]
+    cold_seconds = time.perf_counter() - cold_started
+
+    analyzer = StaticAnalyzer()
+    report = analyzer.solve_many(workload)
+    for cold, batched in zip(cold_outcomes, report.outcomes):
+        assert cold.holds == batched.holds, cold.problem
+
+    return {
+        "benchmark": "StaticAnalyzer.solve_many vs cold per-query solves",
+        "workload_queries": len(workload),
+        "repeats": repeats,
+        "cold_seconds": round(cold_seconds, 6),
+        "batch_seconds": round(report.total_seconds, 6),
+        "speedup": round(cold_seconds / report.total_seconds, 3),
+        "required_speedup": API_BATCH_REQUIRED_SPEEDUP,
+        "solver_runs": report.solver_runs,
+        "cache_hits": report.cache_hits,
+        "cache_statistics": analyzer.cache_statistics(),
+        "outcomes": [
+            {"problem": outcome.problem, "holds": outcome.holds}
+            for outcome in report.outcomes[: len(workload) // repeats]
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# cli-cache
+# ---------------------------------------------------------------------------
+
+
+def _serve_subprocess_env() -> dict[str, str]:
+    """Environment for child processes: make *this* repro importable."""
+    src_dir = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_dir)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def _run_serve_once(cache_dir: str, requests: list[dict]) -> dict:
+    """Stream the workload through one fresh ``repro serve`` process."""
+    lines = [json.dumps(request) for request in requests] + [json.dumps({"op": "stats"})]
+    started = time.perf_counter()
+    process = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve", "--cache-dir", cache_dir],
+        input="\n".join(lines) + "\n",
+        capture_output=True,
+        text=True,
+        env=_serve_subprocess_env(),
+        check=True,
+    )
+    elapsed = time.perf_counter() - started
+    responses = [json.loads(line) for line in process.stdout.splitlines()]
+    if len(responses) != len(requests) + 1:
+        raise RuntimeError(
+            f"serve answered {len(responses)} lines for {len(requests) + 1} requests; "
+            f"stderr: {process.stderr[-500:]}"
+        )
+    stats = responses[-1]["stats"]
+    failures = [r for r in responses[:-1] if not r.get("ok")]
+    if failures:
+        raise RuntimeError(f"serve reported errors: {failures[:3]}")
+    return {
+        "wall_seconds": round(elapsed, 6),
+        "responses": responses[:-1],
+        "stats": stats,
+    }
+
+
+def run_cli_cache(cache_dir: str | None = None, repeats: int = 5) -> dict:
+    """The acceptance benchmark: two cold processes, one persistent cache.
+
+    The first process populates ``cache_dir``; the second must replay the
+    identical workload with **zero** solver runs (every distinct formula a
+    disk hit, every repeat an in-memory hit).
+    """
+    requests = cli_cache_workload(repeats=repeats)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as scratch:
+        directory = cache_dir or os.path.join(scratch, "solve-cache")
+        first = _run_serve_once(directory, requests)
+        second = _run_serve_once(directory, requests)
+
+    verdicts_first = [r["outcome"]["holds"] for r in first["responses"]]
+    verdicts_second = [r["outcome"]["holds"] for r in second["responses"]]
+    if verdicts_first != verdicts_second:
+        raise RuntimeError("cached replay changed verdicts")
+
+    def summary(run: dict) -> dict:
+        stats = run["stats"]
+        return {
+            "wall_seconds": run["wall_seconds"],
+            "solver_runs": stats["solver_runs"],
+            "solve_cache_hits": stats["solve_cache_hits"],
+            "disk_cache_hits": stats["disk_cache_hits"],
+            "disk_cache_writes": stats["disk_cache_writes"],
+            "disk_cache_entries": stats.get("disk_cache_entries"),
+        }
+
+    return {
+        "benchmark": "repro serve: cold-process replay through the persistent solve cache",
+        "workload_queries": len(requests),
+        "distinct_problems": len(_CLI_CACHE_BASE),
+        "first_process": summary(first),
+        "second_process": summary(second),
+        "second_process_solver_runs": second["stats"]["solver_runs"],
+        "replay_speedup": round(first["wall_seconds"] / second["wall_seconds"], 3),
+        "verdicts": [
+            {"id": r.get("id"), "holds": r["outcome"]["holds"]}
+            for r in first["responses"][: len(_CLI_CACHE_BASE)]
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI entry
+# ---------------------------------------------------------------------------
+
+_RUNNERS = {"api-batch": run_api_batch, "cli-cache": run_cli_cache}
+
+
+def run(args) -> int:
+    names = args.names or list(BENCHMARKS)
+    unknown = [name for name in names if name not in _RUNNERS]
+    if unknown:
+        print(
+            f"repro bench: unknown benchmark(s) {unknown}; "
+            f"available: {', '.join(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        payload = _RUNNERS[name]()
+        path = output_dir / f"BENCH_{name.replace('-', '_')}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, ensure_ascii=False) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path}")
+    return 0

@@ -1,0 +1,136 @@
+"""Argument parsing and dispatch for the ``repro`` console entry point.
+
+Subcommands (see :mod:`repro.cli` for the overview and ``docs/CLI.md`` for
+the user guide):
+
+* ``repro analyze`` — one-shot queries from arguments or a batch file.
+* ``repro serve``   — streaming JSON-lines request/response loop.
+* ``repro schemas`` — list/inspect the bundled DTDs.
+* ``repro bench``   — re-emit the ``BENCH_*.json`` reports.
+
+The persistent solve cache is enabled by ``--cache-dir`` on ``analyze`` and
+``serve``, or by the ``REPRO_CACHE_DIR`` environment variable (the flag
+wins).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+#: Environment variable consulted when ``--cache-dir`` is not given.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _add_cache_dir_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get(CACHE_DIR_ENV) or None,
+        metavar="DIR",
+        help="persistent solve-cache directory (default: $REPRO_CACHE_DIR if set, "
+        "else no persistence)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Static analyzer for XPath/XML-type decision problems "
+        "(Genevès, Layaïda & Schmitt, PLDI 2007).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="answer decision problems from arguments or a batch file",
+        description="Answer one query (1 expression: satisfiability, 2: containment, "
+        "override with --kind) or a --batch file of queries; prints a JSON report.",
+    )
+    analyze.add_argument("exprs", nargs="*", metavar="EXPR", help="XPath expression(s)")
+    analyze.add_argument(
+        "--kind",
+        choices=(
+            "satisfiability",
+            "emptiness",
+            "containment",
+            "equivalence",
+            "overlap",
+            "coverage",
+            "type_inclusion",
+        ),
+        help="decision problem to run on the expressions",
+    )
+    analyze.add_argument(
+        "--type",
+        dest="types",
+        action="append",
+        metavar="SCHEMA",
+        help="type constraint per expression: a built-in schema name or a .dtd file; "
+        "give once to apply to every side, repeat for per-side types",
+    )
+    analyze.add_argument(
+        "--batch", metavar="FILE", help="JSON array or JSONL file of query objects"
+    )
+    analyze.add_argument(
+        "--compact", action="store_true", help="single-line JSON output"
+    )
+    _add_cache_dir_option(analyze)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="answer JSONL requests on stdin until end-of-input",
+        description="Stream JSON-lines requests on stdin; one JSON response per "
+        "line on stdout. Control ops: {\"op\": \"ping\"|\"stats\"|\"schemas\"}.",
+    )
+    _add_cache_dir_option(serve)
+
+    schemas = subparsers.add_parser(
+        "schemas",
+        help="list or inspect the bundled DTDs",
+        description="List the bundled schema registry, or inspect one schema.",
+    )
+    schemas.add_argument("name", nargs="?", help="schema name or alias to inspect")
+    schemas.add_argument("--json", action="store_true", help="machine-readable output")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="re-emit the BENCH_*.json benchmark reports",
+        description="Run the built-in benchmarks and write BENCH_<name>.json files.",
+    )
+    bench.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="benchmarks to run: api-batch, cli-cache (default: all)",
+    )
+    bench.add_argument(
+        "--output-dir",
+        default=".",
+        metavar="DIR",
+        help="where to write the BENCH_*.json files (default: current directory)",
+    )
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro`` console script; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    # Imported lazily so `repro schemas --help` never pays solver import cost.
+    if args.command == "analyze":
+        from repro.cli import analyze as command
+    elif args.command == "serve":
+        from repro.cli import serve as command
+    elif args.command == "schemas":
+        from repro.cli import schemas as command
+    else:
+        from repro.cli import bench as command
+    try:
+        return command.run(args)
+    except BrokenPipeError:
+        # Output was piped into something like `head` that closed early;
+        # exit quietly the way standard Unix filters do.  Point stdout at
+        # /dev/null so the interpreter's exit-time flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,0 +1,53 @@
+"""``repro schemas`` — list and inspect the bundled DTDs.
+
+Without arguments, prints one line per registry entry (see
+:func:`repro.xmltypes.library.schema_catalog`).  With a name, prints that
+schema's details: root element, element names, and per-element required
+attributes.  ``--json`` switches both forms to machine-readable output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.xmltypes.library import schema_catalog, schema_info
+
+
+def run(args) -> int:
+    if args.name:
+        try:
+            info = schema_info(args.name)
+        except KeyError as exc:
+            print(f"repro schemas: {exc.args[0]}", file=sys.stderr)
+            return 2
+        detail = info.as_dict(verbose=True)
+        if args.json:
+            print(json.dumps(detail, ensure_ascii=False, indent=2))
+            return 0
+        print(f"{detail['name']} — {detail['description']}")
+        if detail["aliases"]:
+            print(f"  aliases:    {', '.join(detail['aliases'])}")
+        print(f"  file:       {detail['file']}")
+        print(f"  root:       {detail['root']}")
+        print(f"  elements:   {detail['elements']}: {', '.join(detail['element_names'])}")
+        print(f"  attributes: {detail['attributes']} declared names")
+        if detail["required_attributes"]:
+            print("  required attributes:")
+            for element, names in detail["required_attributes"].items():
+                print(f"    {element}: {', '.join(names)}")
+        return 0
+
+    catalog = [info.as_dict() for info in schema_catalog()]
+    if args.json:
+        print(json.dumps(catalog, ensure_ascii=False, indent=2))
+        return 0
+    width = max(len(entry["name"]) for entry in catalog)
+    for entry in catalog:
+        names = "/".join([entry["name"], *entry["aliases"]])
+        print(
+            f"{names.ljust(width + 13)} root={entry['root']:<8} "
+            f"elements={entry['elements']:<3} attributes={entry['attributes']:<3} "
+            f"{entry['description']}"
+        )
+    return 0

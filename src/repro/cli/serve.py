@@ -1,0 +1,113 @@
+"""``repro serve`` — a streaming JSON-lines analysis service on stdin/stdout.
+
+The process reads one JSON request per line, answers with one JSON response
+per line (flushed immediately), and exits 0 on end-of-input.  All requests
+share one :class:`repro.api.StaticAnalyzer`, so an editor or load generator
+can stream thousands of queries at a single set of warm caches; with
+``--cache-dir`` the verdicts also persist across restarts.
+
+Requests are either query objects in the wire format of
+:mod:`repro.cli.wire`, or control operations:
+
+* ``{"op": "ping"}`` — liveness probe.
+* ``{"op": "stats"}`` — the analyzer's cache statistics (solver runs,
+  memory/disk hits, entry counts).
+* ``{"op": "schemas"}`` — the bundled schema registry.
+
+Responses echo the request's ``id`` (when present) and carry ``ok``:
+
+* query analysed → ``{"id": ..., "ok": true, "outcome": {...}}``
+  (``ok`` is false when the outcome is a structured analysis error — the
+  ``outcome`` object is still present with its ``error`` field filled);
+* malformed line or unknown op → ``{"id": ..., "ok": false, "error":
+  {"kind": ..., "message": ...}}``.
+
+A malformed line never terminates the loop: the service answers with an
+error response and keeps reading.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+from repro.api import StaticAnalyzer
+from repro.cli import wire
+from repro.xmltypes.library import schema_catalog
+
+
+def handle_op(payload: dict, analyzer: StaticAnalyzer) -> dict:
+    op = payload["op"]
+    if op == "ping":
+        return {"ok": True, "op": op}
+    if op == "stats":
+        stats = dict(analyzer.cache_statistics())
+        if analyzer.disk_cache is not None:
+            stats["disk_cache_entries"] = len(analyzer.disk_cache)
+            stats["disk_cache_directory"] = str(analyzer.disk_cache.directory)
+        return {"ok": True, "op": op, "stats": stats}
+    if op == "schemas":
+        return {
+            "ok": True,
+            "op": op,
+            "schemas": [info.as_dict() for info in schema_catalog()],
+        }
+    return {
+        "ok": False,
+        "error": {"kind": "ProtocolError", "message": f"unknown op {op!r}"},
+    }
+
+
+def handle_line(
+    line: str, analyzer: StaticAnalyzer, dtd_cache: wire.DTDCache
+) -> dict | None:
+    """The response for one input line (``None`` for blank/comment lines)."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"ok": False, "error": wire.error_payload(exc)}
+    if not isinstance(payload, dict):
+        return {
+            "ok": False,
+            "error": {"kind": "ProtocolError", "message": "request must be an object"},
+        }
+    response: dict = {}
+    if "id" in payload:
+        response["id"] = payload["id"]
+    if "op" in payload:
+        response.update(handle_op(payload, analyzer))
+        return response
+    try:
+        query = wire.query_from_dict(payload, dtd_cache)
+    except (wire.WireError, ValueError) as exc:
+        response.update(ok=False, error=wire.error_payload(exc))
+        return response
+    outcome = analyzer.solve(query)
+    response.update(ok=outcome.ok, outcome=outcome.as_dict())
+    return response
+
+
+def serve(
+    input_stream: IO[str],
+    output_stream: IO[str],
+    cache_dir: str | None = None,
+    analyzer: StaticAnalyzer | None = None,
+) -> int:
+    """Run the request/response loop until end-of-input; returns exit code 0."""
+    analyzer = analyzer or StaticAnalyzer(cache_dir=cache_dir)
+    dtd_cache: wire.DTDCache = {}
+    for line in input_stream:
+        response = handle_line(line, analyzer, dtd_cache)
+        if response is None:
+            continue
+        output_stream.write(json.dumps(response, ensure_ascii=False) + "\n")
+        output_stream.flush()
+    return 0
+
+
+def run(args) -> int:
+    return serve(sys.stdin, sys.stdout, cache_dir=args.cache_dir)

@@ -1,0 +1,140 @@
+"""The JSON wire format of the ``repro`` command line.
+
+One *request* object describes one :class:`repro.api.Query`:
+
+.. code-block:: json
+
+    {"id": 7,
+     "kind": "containment",
+     "exprs": [".//img", ".//img[@alt]"],
+     "types": ["xhtml"]}
+
+* ``kind`` — one of :data:`repro.api.KINDS`.
+* ``exprs`` — the XPath expressions, subject first.
+* ``types`` — optional; entries may be ``null`` ("any tree"), a built-in
+  schema name (see :func:`repro.xmltypes.library.schema_names`), a path to a
+  ``.dtd`` file, or an inline ``{"dtd": "<source>", "root": ..., "name": ...}``
+  object.  A missing list means "no type constraints"; a single entry is
+  broadcast when the kind needs more (the usual "both sides under the same
+  schema" case).
+* ``id`` — optional opaque value echoed back by ``repro serve``.
+
+Batch files for ``repro analyze --batch`` hold either a JSON array of request
+objects or JSON Lines (one request per line; blank lines and ``#`` comment
+lines are skipped).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api import KINDS, Query
+from repro.xmltypes.dtd import DTD, parse_dtd
+
+
+class WireError(ValueError):
+    """A request payload that does not follow the wire format."""
+
+
+#: Cache for inline/file DTDs, keyed by (source, root, name).  Re-parsing per
+#: request would hand the analyzer a *new* DTD object every time and defeat
+#: its identity-keyed type-translation cache.
+DTDCache = dict
+
+
+def resolve_wire_type(value: object, dtd_cache: DTDCache | None = None) -> object:
+    """Decode one ``types`` entry into what :class:`Query` accepts."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        if value.endswith(".dtd"):
+            path = Path(value)
+            if not path.is_file():
+                raise WireError(f"DTD file not found: {value}")
+            return _parse_cached(
+                path.read_text(encoding="utf-8"), None, path.stem, dtd_cache
+            )
+        return value  # built-in schema name; validated by the analyzer
+    if isinstance(value, dict):
+        if "dtd" not in value:
+            raise WireError(f"inline type object needs a 'dtd' key: {value!r}")
+        return _parse_cached(
+            value["dtd"], value.get("root"), value.get("name", "inline"), dtd_cache
+        )
+    raise WireError(f"unsupported type constraint in request: {value!r}")
+
+
+def _parse_cached(
+    source: str, root: str | None, name: str, dtd_cache: DTDCache | None
+) -> DTD:
+    key = (source, root, name)
+    if dtd_cache is not None and key in dtd_cache:
+        return dtd_cache[key]
+    dtd = parse_dtd(source, root=root, name=name)
+    if dtd_cache is not None:
+        dtd_cache[key] = dtd
+    return dtd
+
+
+def query_from_dict(payload: dict, dtd_cache: DTDCache | None = None) -> Query:
+    """Build a :class:`Query` from a request object (see module docstring).
+
+    Raises :class:`WireError` on malformed payloads and :class:`ValueError`
+    (from :class:`Query` itself) on arity violations.
+    """
+    if not isinstance(payload, dict):
+        raise WireError(f"request must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - {"id", "kind", "exprs", "types"}
+    if unknown:
+        raise WireError(f"unknown request keys {sorted(unknown)!r}")
+    kind = payload.get("kind")
+    if kind not in KINDS:
+        raise WireError(f"unknown query kind {kind!r}; expected one of {KINDS}")
+    exprs = payload.get("exprs")
+    if (
+        not isinstance(exprs, list)
+        or not exprs
+        or not all(isinstance(e, str) for e in exprs)
+    ):
+        raise WireError("'exprs' must be a non-empty list of XPath strings")
+    types = payload.get("types")
+    arity = Query._ARITIES[kind]
+    wanted = len(exprs) if arity is None else arity[1]
+    if types is None:
+        types = [None] * wanted
+    if not isinstance(types, list):
+        raise WireError("'types' must be a list when present")
+    if len(types) == 1 and wanted > 1:
+        types = types * wanted  # broadcast "same schema on every side"
+    resolved = tuple(resolve_wire_type(value, dtd_cache) for value in types)
+    return Query(kind, tuple(exprs), resolved)
+
+
+def read_batch(path: str | Path) -> list[dict]:
+    """Load a batch file (JSON array or JSON Lines) into request objects."""
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        try:
+            payloads = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"{path}: invalid JSON: {exc}") from None
+        if not isinstance(payloads, list):
+            raise WireError(f"{path}: expected a JSON array of request objects")
+        return payloads
+    payloads = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            payloads.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise WireError(f"{path}:{number}: invalid JSON: {exc}") from None
+    return payloads
+
+
+def error_payload(exc: Exception) -> dict:
+    """The wire shape of a protocol-level failure."""
+    return {"kind": type(exc).__name__, "message": str(exc)}

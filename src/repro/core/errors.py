@@ -29,6 +29,22 @@ class CycleFreenessError(ReproError):
     """Raised when a formula that must be cycle-free is not (Section 4)."""
 
 
+class SchemaLookupError(ReproError, KeyError):
+    """Raised when a built-in schema name is unknown.
+
+    Subclasses :class:`KeyError` so callers doing plain dictionary-style
+    lookups keep working, while the analyzer can treat it as the
+    input-shaped :class:`ReproError` it is.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
+class UnsupportedTypeError(ReproError, TypeError):
+    """Raised when a type constraint object is not of a supported kind."""
+
+
 class SolverLimitError(ReproError):
     """Raised when a solver refuses an instance that exceeds a configured limit.
 

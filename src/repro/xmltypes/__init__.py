@@ -35,11 +35,15 @@ from repro.xmltypes.binarize import binarize_dtd
 from repro.xmltypes.compile import compile_grammar, compile_dtd
 from repro.xmltypes.membership import grammar_accepts, dtd_accepts
 from repro.xmltypes.library import (
+    SchemaInfo,
     smil_dtd,
     xhtml_strict_dtd,
     xhtml_core_dtd,
     wikipedia_dtd,
     builtin_dtd,
+    schema_catalog,
+    schema_info,
+    schema_names,
 )
 
 __all__ = [
@@ -62,9 +66,13 @@ __all__ = [
     "compile_dtd",
     "grammar_accepts",
     "dtd_accepts",
+    "SchemaInfo",
     "smil_dtd",
     "xhtml_strict_dtd",
     "xhtml_core_dtd",
     "wikipedia_dtd",
     "builtin_dtd",
+    "schema_catalog",
+    "schema_info",
+    "schema_names",
 ]

@@ -136,3 +136,75 @@ def test_outcome_time_ms_matches_seconds():
     outcome = StaticAnalyzer().solve(Query.satisfiability("child::a"))
     assert isinstance(outcome, AnalysisOutcome)
     assert outcome.time_ms == pytest.approx(outcome.solve_seconds * 1000.0)
+
+
+# ---------------------------------------------------------------------------
+# Structured error outcomes (one bad query must never kill a batch)
+# ---------------------------------------------------------------------------
+
+
+def test_malformed_expression_is_a_structured_error():
+    outcome = StaticAnalyzer().solve(Query.satisfiability("child::a["))
+    assert not outcome.ok
+    assert outcome.holds is False
+    assert outcome.error_kind == "ParseError"
+    assert "qualifier" in outcome.error
+    payload = json.loads(outcome.to_json())
+    assert payload["error"]["kind"] == "ParseError"
+    assert payload["counterexample"] is None
+
+
+def test_unknown_schema_name_is_a_structured_error():
+    outcome = StaticAnalyzer().solve(Query.satisfiability("child::a", "nosuch"))
+    assert not outcome.ok
+    assert outcome.error_kind == "SchemaLookupError"
+    assert "unknown built-in DTD 'nosuch'" in outcome.error
+
+
+def test_unsupported_type_object_is_a_structured_error():
+    outcome = StaticAnalyzer().solve(Query.satisfiability("child::a", object()))
+    assert not outcome.ok
+    assert outcome.error_kind == "UnsupportedTypeError"
+
+
+def test_internal_bugs_are_not_masked_as_error_outcomes(monkeypatch):
+    # A KeyError out of the solver machinery is a programming error, not an
+    # input error: it must raise, not become a structured outcome.
+    from repro import api as api_module
+
+    def broken_solver(*args, **kwargs):
+        raise KeyError("internal bug")
+
+    monkeypatch.setattr(api_module, "SymbolicSolver", broken_solver)
+    with pytest.raises(KeyError):
+        StaticAnalyzer().solve(Query.satisfiability("child::a"))
+
+
+def test_successful_outcomes_report_ok_and_no_error():
+    outcome = StaticAnalyzer().solve(Query.satisfiability("child::a"))
+    assert outcome.ok
+    assert json.loads(outcome.to_json())["error"] is None
+
+
+def test_bad_query_does_not_abort_solve_many():
+    report = StaticAnalyzer().solve_many(
+        [
+            Query.containment("child::a[b]", "child::a"),
+            Query.satisfiability("child::a[", None),
+            Query.emptiness("child::title/child::meta", "wikipedia"),
+        ]
+    )
+    assert [o.ok for o in report.outcomes] == [True, False, True]
+    assert report.errors == 1
+    assert report.outcomes[0].holds is True
+    assert report.outcomes[2].holds is True
+    assert json.loads(report.to_json())["errors"] == 1
+
+
+def test_equivalence_with_bad_side_is_a_structured_error():
+    outcome = StaticAnalyzer().solve(Query.equivalence("child::a[", "child::a"))
+    assert not outcome.ok
+    assert outcome.error_kind == "ParseError"
+    assert len(outcome.parts) == 2
+    # Both containment directions mention the malformed expression.
+    assert all(not part.ok for part in outcome.parts)

@@ -1,0 +1,282 @@
+"""Tests for the ``repro`` command line (:mod:`repro.cli`)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cli import wire
+from repro.cli.analyze import EXIT_ANALYSIS_ERROR, EXIT_OK, EXIT_USAGE
+from repro.cli.bench import cli_cache_workload
+from repro.cli.serve import serve
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parser_accepts_every_subcommand():
+    parser = build_parser()
+    args = parser.parse_args(["analyze", "a", "b", "--kind", "containment"])
+    assert args.command == "analyze" and args.exprs == ["a", "b"]
+    assert parser.parse_args(["serve"]).command == "serve"
+    assert parser.parse_args(["schemas", "xhtml"]).name == "xhtml"
+    assert parser.parse_args(["bench", "--output-dir", "/tmp"]).names == []
+
+
+def test_parser_rejects_unknown_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["frobnicate"])
+    assert excinfo.value.code == EXIT_USAGE
+
+
+def test_cache_dir_defaults_to_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/from-env")
+    assert build_parser().parse_args(["serve"]).cache_dir == "/tmp/from-env"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert build_parser().parse_args(["serve"]).cache_dir is None
+
+
+# ---------------------------------------------------------------------------
+# The wire format
+# ---------------------------------------------------------------------------
+
+
+def test_query_from_dict_with_broadcast_type():
+    query = wire.query_from_dict(
+        {"kind": "containment", "exprs": ["a/b", "a//b"], "types": ["wikipedia"]}
+    )
+    assert query.types == ("wikipedia", "wikipedia")
+
+
+def test_query_from_dict_rejects_malformed_payloads():
+    with pytest.raises(wire.WireError):
+        wire.query_from_dict({"kind": "nope", "exprs": ["a"]})
+    with pytest.raises(wire.WireError):
+        wire.query_from_dict({"kind": "containment", "exprs": "a"})
+    with pytest.raises(wire.WireError):
+        wire.query_from_dict({"kind": "containment", "exprs": ["a", "b"], "oops": 1})
+    with pytest.raises(ValueError):
+        wire.query_from_dict({"kind": "containment", "exprs": ["a"]})  # arity
+
+
+def test_inline_dtd_objects_are_parsed_and_cached():
+    cache: wire.DTDCache = {}
+    payload = {
+        "kind": "satisfiability",
+        "exprs": ["child::b"],
+        "types": [{"dtd": "<!ELEMENT a (b)><!ELEMENT b EMPTY>", "root": "a"}],
+    }
+    first = wire.query_from_dict(payload, cache)
+    second = wire.query_from_dict(payload, cache)
+    assert first.types[0] is second.types[0]  # identity preserved for caching
+
+
+def test_read_batch_json_and_jsonl(tmp_path):
+    requests = [{"kind": "satisfiability", "exprs": ["a"]}]
+    as_json = tmp_path / "batch.json"
+    as_json.write_text(json.dumps(requests), encoding="utf-8")
+    as_jsonl = tmp_path / "batch.jsonl"
+    as_jsonl.write_text("# comment\n" + json.dumps(requests[0]) + "\n\n", encoding="utf-8")
+    assert wire.read_batch(as_json) == requests
+    assert wire.read_batch(as_jsonl) == requests
+    as_jsonl.write_text("not json\n", encoding="utf-8")
+    with pytest.raises(wire.WireError):
+        wire.read_batch(as_jsonl)
+
+
+# ---------------------------------------------------------------------------
+# repro analyze
+# ---------------------------------------------------------------------------
+
+
+def test_analyze_containment_exit_zero(capsys):
+    code = main(["analyze", "child::a[b]", "child::a", "--compact"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_OK
+    assert payload["outcomes"][0]["holds"] is True
+    assert payload["outcomes"][0]["query"]["kind"] == "containment"
+    assert payload["errors"] == 0
+
+
+def test_analyze_malformed_expression_exit_one(capsys):
+    code = main(["analyze", "child::a[", "--compact"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_ANALYSIS_ERROR
+    assert payload["errors"] == 1
+    assert payload["outcomes"][0]["error"]["kind"] == "ParseError"
+
+
+def test_analyze_unknown_schema_exit_one(capsys):
+    code = main(["analyze", "child::a", "--type", "nosuch", "--compact"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_ANALYSIS_ERROR
+    assert payload["outcomes"][0]["error"]["kind"] == "SchemaLookupError"
+
+
+def test_analyze_three_exprs_need_explicit_kind(capsys):
+    assert main(["analyze", "a", "b", "c"]) == EXIT_USAGE
+    assert main(["analyze"]) == EXIT_USAGE
+    assert main(["analyze", "a", "b", "c", "--kind", "coverage", "--compact"]) == EXIT_OK
+
+
+def test_analyze_batch_mixes_verdicts_and_errors(tmp_path, capsys):
+    batch = tmp_path / "batch.jsonl"
+    batch.write_text(
+        "\n".join(
+            [
+                json.dumps({"kind": "containment", "exprs": ["child::a[b]", "child::a"]}),
+                json.dumps({"kind": "spelling", "exprs": ["a"]}),  # wire error
+                json.dumps({"kind": "satisfiability", "exprs": ["child::a["]}),
+            ]
+        ),
+        encoding="utf-8",
+    )
+    code = main(["analyze", "--batch", str(batch), "--compact"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_ANALYSIS_ERROR
+    assert payload["errors"] == 2
+    assert [bool(o.get("error")) for o in payload["outcomes"]] == [False, True, True]
+    assert payload["outcomes"][0]["holds"] is True  # good query still answered
+
+
+def test_analyze_missing_batch_file_exit_two(capsys):
+    assert main(["analyze", "--batch", "/nonexistent.jsonl"]) == EXIT_USAGE
+    assert "analyze" in capsys.readouterr().err
+
+
+def test_analyze_uses_persistent_cache(tmp_path, capsys):
+    argv = ["analyze", "child::a[b]", "child::a", "--compact", "--cache-dir", str(tmp_path)]
+    main(argv)
+    first = json.loads(capsys.readouterr().out)
+    main(argv)
+    second = json.loads(capsys.readouterr().out)
+    assert first["solver_runs"] == 1 and first["disk_cache_hits"] == 0
+    assert second["solver_runs"] == 0 and second["disk_cache_hits"] == 1
+    assert second["outcomes"][0]["cache"] == "disk"
+
+
+# ---------------------------------------------------------------------------
+# repro serve: JSONL round trips
+# ---------------------------------------------------------------------------
+
+
+def _serve_lines(requests: list[dict | str], **kwargs) -> list[dict]:
+    text = "\n".join(
+        request if isinstance(request, str) else json.dumps(request)
+        for request in requests
+    )
+    output = io.StringIO()
+    assert serve(io.StringIO(text + "\n"), output, **kwargs) == 0
+    return [json.loads(line) for line in output.getvalue().splitlines()]
+
+
+def test_serve_round_trips_queries_with_ids():
+    responses = _serve_lines(
+        [
+            {"id": "q1", "kind": "containment", "exprs": ["child::a[b]", "child::a"]},
+            {"id": "q2", "kind": "satisfiability", "exprs": ["child::meta/child::title"],
+             "types": ["wikipedia"]},
+            {"id": "q1", "kind": "containment", "exprs": ["child::a[b]", "child::a"]},
+        ]
+    )
+    assert [r["id"] for r in responses] == ["q1", "q2", "q1"]
+    assert all(r["ok"] for r in responses)
+    assert responses[0]["outcome"]["holds"] is True
+    assert responses[2]["outcome"]["from_cache"] is True
+
+
+def test_serve_survives_malformed_lines_and_unknown_ops():
+    responses = _serve_lines(
+        [
+            "this is not json",
+            "[1, 2]",
+            {"id": 9, "op": "selfdestruct"},
+            {"id": 10, "kind": "satisfiability", "exprs": ["child::a"]},
+        ]
+    )
+    assert [r["ok"] for r in responses] == [False, False, False, True]
+    assert responses[0]["error"]["kind"] == "JSONDecodeError"
+    assert responses[2]["error"]["kind"] == "ProtocolError"
+    assert responses[3]["outcome"]["holds"] is True
+
+
+def test_serve_analysis_errors_are_per_request():
+    responses = _serve_lines(
+        [
+            {"id": 1, "kind": "satisfiability", "exprs": ["child::a["]},
+            {"id": 2, "kind": "satisfiability", "exprs": ["child::a"]},
+        ]
+    )
+    assert responses[0]["ok"] is False
+    assert responses[0]["outcome"]["error"]["kind"] == "ParseError"
+    assert responses[1]["ok"] is True
+
+
+def test_serve_ops_ping_stats_schemas(tmp_path):
+    responses = _serve_lines(
+        [
+            {"op": "ping"},
+            {"id": 1, "kind": "satisfiability", "exprs": ["child::a"]},
+            {"op": "stats"},
+            {"op": "schemas"},
+        ],
+        cache_dir=str(tmp_path),
+    )
+    assert responses[0] == {"ok": True, "op": "ping"}
+    stats = responses[2]["stats"]
+    assert stats["solver_runs"] == 1
+    assert stats["disk_cache_writes"] == 1
+    assert stats["disk_cache_entries"] == 1
+    assert {s["name"] for s in responses[3]["schemas"]} >= {"xhtml", "wikipedia"}
+
+
+def test_serve_blank_and_comment_lines_are_ignored():
+    responses = _serve_lines(["", "# warmup", {"op": "ping"}])
+    assert len(responses) == 1
+
+
+# ---------------------------------------------------------------------------
+# repro schemas
+# ---------------------------------------------------------------------------
+
+
+def test_schemas_listing_and_detail(capsys):
+    assert main(["schemas"]) == EXIT_OK
+    listing = capsys.readouterr().out
+    for name in ("smil", "xhtml", "xhtml-core", "wikipedia"):
+        assert name in listing
+
+    assert main(["schemas", "wikipedia", "--json"]) == EXIT_OK
+    detail = json.loads(capsys.readouterr().out)
+    assert detail["root"] == "article"
+    assert detail["elements"] == 9
+    assert "article" in detail["element_names"]
+
+    assert main(["schemas", "nosuch"]) == EXIT_USAGE
+    assert "unknown built-in DTD" in capsys.readouterr().err
+
+
+def test_schemas_alias_resolves(capsys):
+    assert main(["schemas", "xhtml-strict", "--json"]) == EXIT_OK
+    assert json.loads(capsys.readouterr().out)["name"] == "xhtml"
+
+
+# ---------------------------------------------------------------------------
+# repro bench plumbing (the heavy two-process run lives in benchmarks/)
+# ---------------------------------------------------------------------------
+
+
+def test_bench_rejects_unknown_names(capsys):
+    assert main(["bench", "nosuch"]) == EXIT_USAGE
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_cli_cache_workload_is_fifty_valid_requests():
+    workload = cli_cache_workload()
+    assert len(workload) == 50
+    assert len({json.dumps(q, sort_keys=True) for q in workload}) == 50  # distinct ids
+    for payload in workload:
+        wire.query_from_dict(payload)  # every request is wire-valid

@@ -1,0 +1,194 @@
+"""Tests for the persistent solve cache (:mod:`repro.cache`)."""
+
+import json
+
+import pytest
+
+from repro.api import Query, StaticAnalyzer
+from repro.cache import (
+    CACHE_FORMAT_VERSION,
+    DiskSolveCache,
+    SolveRecord,
+    formula_digest,
+    lean_alphabet,
+    solve_cache_key,
+)
+from repro.logic import syntax as sx
+from repro.logic.parser import parse_formula
+
+
+QUERY = Query.containment("child::a[b]", "child::a")
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+# ---------------------------------------------------------------------------
+
+
+def test_digest_is_alpha_invariant():
+    # Two structurally identical fixpoints over *different* bound names (as
+    # produced by the globally-fresh variable generator in two processes).
+    first = sx.mu1(lambda x: sx.prop("a") | sx.dia(1, x))
+    second = sx.mu1(lambda x: sx.prop("a") | sx.dia(1, x))
+    assert first is not second  # different bound names, so not interned
+    assert formula_digest(first) == formula_digest(second)
+    assert solve_cache_key(first) == solve_cache_key(second)
+
+
+def test_digest_distinguishes_formulas():
+    digests = {
+        formula_digest(parse_formula(text))
+        for text in ("a & <1>b", "a | <1>b", "a & <2>b", "a & <1>c", "~a & <1>b")
+    }
+    assert len(digests) == 5
+
+
+def test_solve_cache_key_covers_options_and_alphabet():
+    formula = parse_formula("a & <1>b")
+    assert solve_cache_key(formula, track_marks=True) != solve_cache_key(
+        formula, track_marks=False
+    )
+    alphabet = lean_alphabet(parse_formula("a & @href"))
+    assert alphabet == {"labels": ["a"], "attributes": ["href"]}
+
+
+# ---------------------------------------------------------------------------
+# The store itself
+# ---------------------------------------------------------------------------
+
+
+def test_put_get_round_trip(tmp_path):
+    cache = DiskSolveCache(tmp_path)
+    formula = parse_formula("a & <1>b")
+    record = SolveRecord(
+        satisfiable=True,
+        counterexample="<a><b/></a>",
+        statistics={"lean_size": 9},
+        solve_seconds=0.25,
+    )
+    path = cache.put(formula, record)
+    assert path.is_file()
+    assert len(cache) == 1
+    assert cache.get(formula) == record
+    entry = next(iter(cache.entries()))
+    assert entry["version"] == CACHE_FORMAT_VERSION
+    assert entry["alphabet"]["labels"] == ["a", "b"]
+
+
+def test_corrupt_entries_are_misses(tmp_path):
+    cache = DiskSolveCache(tmp_path)
+    formula = parse_formula("a & <1>b")
+    record = SolveRecord(True, None, {}, 0.0)
+    path = cache.put(formula, record)
+    path.write_text("{ truncated", encoding="utf-8")
+    assert cache.get(formula) is None
+    # A different key under the same entry name is also rejected.
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "key": "0" * 64,
+        **record.as_dict(),
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    assert cache.get(formula) is None
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = DiskSolveCache(tmp_path)
+    cache.put(parse_formula("a"), SolveRecord(True, None, {}, 0.0))
+    cache.put(parse_formula("b"), SolveRecord(True, None, {}, 0.0))
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# Through the analyzer: two instances, one cache directory
+# ---------------------------------------------------------------------------
+
+
+def test_second_analyzer_answers_from_disk(tmp_path):
+    first = StaticAnalyzer(cache_dir=tmp_path)
+    original = first.solve(QUERY)
+    assert first.solver_runs == 1
+    assert first.disk_cache_writes == 1
+
+    # A second instance re-translates the query (fresh recursion variables),
+    # yet must find the verdict on disk without running the solver.
+    second = StaticAnalyzer(cache_dir=tmp_path)
+    replayed = second.solve(QUERY)
+    assert second.solver_runs == 0
+    assert second.disk_cache_hits == 1
+    assert replayed.from_cache and replayed.cache == "disk"
+    assert replayed.holds == original.holds
+    assert replayed.counterexample == original.counterexample
+    assert replayed.statistics["lean_size"] == original.statistics["lean_size"]
+
+    # Within one instance the in-memory layer answers before the disk.
+    again = second.solve(QUERY)
+    assert again.cache == "memory"
+    assert second.disk_cache_hits == 1
+
+
+def test_counterexample_survives_the_disk_round_trip(tmp_path):
+    failing = Query.containment("child::a", "child::a[b]")
+    first = StaticAnalyzer(cache_dir=tmp_path).solve(failing)
+    second = StaticAnalyzer(cache_dir=tmp_path).solve(failing)
+    assert not first.holds and not second.holds
+    assert first.counterexample is not None
+    assert second.counterexample == first.counterexample
+
+
+def test_clearing_the_disk_cache_invalidates(tmp_path):
+    first = StaticAnalyzer(cache_dir=tmp_path)
+    first.solve(QUERY)
+    assert first.disk_cache.clear() == 1
+    second = StaticAnalyzer(cache_dir=tmp_path)
+    second.solve(QUERY)
+    assert second.solver_runs == 1  # miss: the entry was invalidated
+
+
+def test_disk_cache_disabled_by_default(tmp_path):
+    analyzer = StaticAnalyzer()
+    assert analyzer.disk_cache is None
+    analyzer.solve(QUERY)
+    assert analyzer.cache_statistics()["disk_cache_writes"] == 0
+
+
+def test_batch_report_counts_disk_hits(tmp_path):
+    StaticAnalyzer(cache_dir=tmp_path).solve(QUERY)
+    report = StaticAnalyzer(cache_dir=tmp_path).solve_many([QUERY, QUERY])
+    assert report.solver_runs == 0
+    assert report.disk_cache_hits == 1
+    assert report.cache_hits == 1  # the repeat, from memory
+    payload = json.loads(report.to_json())
+    assert payload["disk_cache_hits"] == 1
+
+
+def test_unsound_solver_options_do_not_share_entries(tmp_path):
+    sound = StaticAnalyzer(cache_dir=tmp_path)
+    sound.solve(QUERY)
+    ablated = StaticAnalyzer(cache_dir=tmp_path, track_marks=False)
+    ablated.solve(QUERY)
+    assert ablated.disk_cache_hits == 0  # keys differ by track_marks
+    assert ablated.solver_runs == 1
+
+
+def test_concurrent_writers_publish_atomically(tmp_path):
+    # Simulate a racing writer: the scratch file of one writer never shadows
+    # the published entry of another, and duplicate puts are idempotent.
+    cache_a = DiskSolveCache(tmp_path)
+    cache_b = DiskSolveCache(tmp_path)
+    formula = parse_formula("a & <1>b")
+    record = SolveRecord(True, "<a/>", {"lean_size": 9}, 0.1)
+    cache_a.put(formula, record)
+    cache_b.put(formula, record)
+    assert len(cache_a) == 1
+    assert cache_a.get(formula) == record
+    assert not list(cache_a.root.glob("**/*.tmp"))  # no scratch files leak
+
+
+@pytest.mark.parametrize("expression", ["child::a[b]", ".//a[@href]"])
+def test_attribute_alphabet_is_part_of_the_key(tmp_path, expression):
+    analyzer = StaticAnalyzer(cache_dir=tmp_path)
+    analyzer.solve(Query.satisfiability(expression))
+    for entry in analyzer.disk_cache.entries():
+        assert ("@" in expression) == bool(entry["alphabet"]["attributes"])
