@@ -34,9 +34,27 @@ def test_api_batch_speedup():
         f"({payload['solver_runs']} solver runs, {payload['cache_hits']} cache hits)",
         f"speedup: {speedup:.2f}x (required >= {_REQUIRED_SPEEDUP}x)",
     ]
+    multiprocess = payload["multiprocess"]
+    lines.append(
+        f"multiprocess (workers={multiprocess['workers']}, "
+        f"{multiprocess['cpu_count']} cpus): "
+        f"{multiprocess['sequential_seconds'] * 1000:8.1f} ms sequential vs "
+        f"{multiprocess['parallel_seconds'] * 1000:8.1f} ms parallel "
+        f"({multiprocess['speedup']:.2f}x, required >= "
+        f"{multiprocess['required_speedup']}x on >= 4 cpus)"
+    )
     write_report("api_batch", lines)
     write_bench_json("api_batch", payload)
     assert speedup >= _REQUIRED_SPEEDUP, (
         f"batched path only {speedup:.2f}x faster than cold solves "
         f"(cold {payload['cold_seconds']:.3f}s vs batch {payload['batch_seconds']:.3f}s)"
     )
+    # Verdict equality and stable ordering are asserted inside the runner;
+    # the throughput threshold only binds where the hardware can express it.
+    assert multiprocess["verdicts_identical"] and multiprocess["ordering_stable"]
+    if multiprocess["threshold_applies"]:
+        assert multiprocess["speedup"] >= multiprocess["required_speedup"], (
+            f"solve_many(workers={multiprocess['workers']}) only "
+            f"{multiprocess['speedup']:.2f}x faster on "
+            f"{multiprocess['cpu_count']} cpus"
+        )

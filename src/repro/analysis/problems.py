@@ -38,7 +38,8 @@ from repro.logic.closure import OTHER_ATTRIBUTE
 from repro.logic.negation import negate
 from repro.solver.symbolic import SolverResult, SymbolicSolver
 from repro.trees.unranked import Tree
-from repro.xmltypes.compile import compile_dtd, compile_grammar
+from repro.xmltypes.compile import compile_dtd, compile_grammar, project_grammar
+from repro.xmltypes.membership import lift_wildcards
 from repro.xmltypes.ast import BinaryTypeGrammar
 from repro.xmltypes.dtd import DTD
 from repro.xpath import ast as xp
@@ -50,7 +51,10 @@ ExprLike = "xp.Expr | str"
 
 
 def _type_formula(
-    xml_type, constrain_siblings: bool = True, attributes: tuple[str, ...] = ()
+    xml_type,
+    constrain_siblings: bool = True,
+    attributes: tuple[str, ...] = (),
+    labels: tuple[str, ...] | None = None,
 ) -> sx.Formula:
     """The Lµ formula of a type constraint (⊤ when there is none).
 
@@ -61,6 +65,11 @@ def _type_formula(
     ``attributes`` is the attribute alphabet the surrounding problem observes;
     DTD types project their ATTLIST constraints onto it (other kinds of type
     constraint carry no attribute information and ignore it).
+
+    ``labels`` is the problem's element alphabet (or ``None`` when the
+    problem must not prune): DTD and grammar types collapse element names
+    outside it onto the "any other label" proposition — cone-of-influence
+    Lean pruning, see :func:`label_projection`.
     """
     if xml_type is None:
         return sx.TRUE
@@ -71,9 +80,13 @@ def _type_formula(
             xml_type,
             constrain_siblings=constrain_siblings,
             attributes=attributes or None,
+            labels=labels,
         )
     if isinstance(xml_type, BinaryTypeGrammar):
-        return compile_grammar(xml_type, constrain_siblings=constrain_siblings)
+        grammar = (
+            project_grammar(xml_type, labels) if labels is not None else xml_type
+        )
+        return compile_grammar(grammar, constrain_siblings=constrain_siblings)
     raise TypeError(f"unsupported type constraint {xml_type!r}")
 
 
@@ -99,6 +112,58 @@ def relevant_attributes(*exprs) -> tuple[str, ...]:
     if wildcard:
         names.add(OTHER_ATTRIBUTE)
     return tuple(sorted(names))
+
+
+def relevant_labels(*exprs) -> tuple[str, ...]:
+    """The element alphabet of a problem: every name its expressions test.
+
+    Wildcard node tests contribute nothing (they cannot distinguish labels).
+    Returns a sorted tuple.
+    """
+    names: set[str] = set()
+    for expr in exprs:
+        if expr is None:
+            continue
+        names |= xp.collect_labels(_expression(expr))
+    return tuple(sorted(names))
+
+
+def label_projection(exprs, types, type_key=id) -> tuple[str, ...] | None:
+    """The element alphabet to project type constraints onto, or ``None``.
+
+    Cone-of-influence pruning collapses element names a problem's
+    expressions never test onto the "any other label" proposition.  The
+    collapse is a label homomorphism applied to the type constraints, so it
+    is semantics-preserving exactly when every type constraint of the
+    problem is collapsed *through the same homomorphism*: with two distinct
+    DTDs the problem can tell types apart through names neither query
+    mentions (e.g. containment between differently-typed sides), so pruning
+    must be skipped — this returns ``None``.
+
+    Concretely, pruning applies when the problem involves at most one
+    distinct DTD/grammar constraint (possibly repeated, possibly mixed with
+    unconstrained ``None`` sides).  Raw-formula type constraints cannot be
+    projected, but their alphabet joins the kept labels so they stay sound
+    alongside a pruned schema.
+
+    ``type_key`` maps a (non-``None``, non-formula) type constraint to its
+    identity for the distinctness test.  The default — object identity —
+    suits direct callers holding parsed DTD/grammar objects;
+    :class:`repro.api.StaticAnalyzer` passes its cache key so two mentions
+    of the same built-in schema name count as one type.
+    """
+    distinct: set[object] = set()
+    formula_labels: set[str] = set()
+    for xml_type in types:
+        if xml_type is None:
+            continue
+        if isinstance(xml_type, sx.Formula):
+            formula_labels |= sx.atomic_propositions(xml_type)
+            continue
+        distinct.add(type_key(xml_type))
+    if len(distinct) > 1:
+        return None
+    return tuple(sorted(set(relevant_labels(*exprs)) | formula_labels))
 
 
 def _required_attribute_names(xml_type) -> set[str]:
@@ -173,9 +238,15 @@ def rooted(xml_type, attributes: tuple[str, ...] = ()) -> sx.Formula:
     )
 
 
-def _query_formula(expr, xml_type, attributes: tuple[str, ...] = ()) -> sx.Formula:
+def _query_formula(
+    expr,
+    xml_type,
+    attributes: tuple[str, ...] = (),
+    labels: tuple[str, ...] | None = None,
+) -> sx.Formula:
     return compile_xpath(
-        _expression(expr), _type_formula(xml_type, attributes=attributes)
+        _expression(expr),
+        _type_formula(xml_type, attributes=attributes, labels=labels),
     )
 
 
@@ -211,12 +282,45 @@ class AnalysisResult:
 
 @dataclass
 class Analyzer:
-    """Facade bundling the translations and the solver with shared options."""
+    """Facade bundling the translations and the solver with shared options.
+
+    ``prune_labels`` enables cone-of-influence Lean pruning: type constraints
+    are projected onto the element names the problem's expressions actually
+    test (see :func:`label_projection`), which shrinks the Lean — and with it
+    every BDD — proportionally for queries touching a small corner of a
+    large schema.  The projection is semantics-preserving and is therefore on
+    by default; switch it off to reproduce the unpruned alphabets of the
+    paper's figures.
+    """
 
     early_quantification: bool = True
     monolithic_relation: bool = False
     interleaved_order: bool = True
     track_marks: bool = True
+    prune_labels: bool = True
+
+    def _labels(self, exprs, types) -> tuple[str, ...] | None:
+        if not self.prune_labels:
+            return None
+        return label_projection(exprs, types)
+
+    def _counterexample(self, result: SolverResult, labels, *types) -> Tree | None:
+        """The witness document, lifted back to concrete element names.
+
+        Solving under a label-projected type leaves collapsed elements with
+        the placeholder label; when the problem had a DTD constraint, try to
+        reassign concrete names so the witness validates against the
+        original schema (best effort — the typed region may not span the
+        whole document).
+        """
+        document = result.model_document()
+        if document is None or labels is None:
+            return document
+        dtd = next((t for t in types if isinstance(t, DTD)), None)
+        if dtd is None:
+            return document
+        lifted = lift_wildcards(dtd, document, exclude=labels)
+        return lifted if lifted is not None else document
 
     def _solve(self, formula: sx.Formula, extra_labels: tuple[str, ...] = ()) -> SolverResult:
         solver = SymbolicSolver(
@@ -233,13 +337,14 @@ class Analyzer:
 
     def satisfiability(self, expr, xml_type=None) -> AnalysisResult:
         """Can the expression select at least one node (under the type)?"""
-        formula = _query_formula(expr, xml_type, relevant_attributes(expr))
+        labels = self._labels((expr,), (xml_type,))
+        formula = _query_formula(expr, xml_type, relevant_attributes(expr), labels)
         result = self._solve(formula)
         return AnalysisResult(
             problem=f"satisfiability of {expr}",
             holds=result.satisfiable,
             solver_result=result,
-            counterexample=result.model_document(),
+            counterexample=self._counterexample(result, labels, xml_type),
         )
 
     def emptiness(self, expr, xml_type=None) -> AnalysisResult:
@@ -257,16 +362,17 @@ class Analyzer:
         # Both sides share one attribute alphabet: a required attribute that
         # only expr2 mentions must still constrain the models of expr1's type.
         attributes = relevant_attributes(expr1, expr2)
+        labels = self._labels((expr1, expr2), (type1, type2))
         formula = sx.mk_and(
-            _query_formula(expr1, type1, attributes),
-            negate(_query_formula(expr2, type2, attributes)),
+            _query_formula(expr1, type1, attributes, labels),
+            negate(_query_formula(expr2, type2, attributes, labels)),
         )
         result = self._solve(formula)
         return AnalysisResult(
             problem=f"containment {expr1} ⊆ {expr2}",
             holds=not result.satisfiable,
             solver_result=result,
-            counterexample=result.model_document(),
+            counterexample=self._counterexample(result, labels, type1, type2),
         )
 
     def equivalence(self, expr1, expr2, type1=None, type2=None) -> tuple[AnalysisResult, AnalysisResult]:
@@ -278,16 +384,17 @@ class Analyzer:
     def overlap(self, expr1, expr2, type1=None, type2=None) -> AnalysisResult:
         """Can the two expressions select a common node?"""
         attributes = relevant_attributes(expr1, expr2)
+        labels = self._labels((expr1, expr2), (type1, type2))
         formula = sx.mk_and(
-            _query_formula(expr1, type1, attributes),
-            _query_formula(expr2, type2, attributes),
+            _query_formula(expr1, type1, attributes, labels),
+            _query_formula(expr2, type2, attributes, labels),
         )
         result = self._solve(formula)
         return AnalysisResult(
             problem=f"overlap of {expr1} and {expr2}",
             holds=result.satisfiable,
             solver_result=result,
-            counterexample=result.model_document(),
+            counterexample=self._counterexample(result, labels, type1, type2),
         )
 
     def coverage(self, expr, covering, xml_type=None, covering_types=None) -> AnalysisResult:
@@ -295,26 +402,33 @@ class Analyzer:
         covering = list(covering)
         covering_types = list(covering_types) if covering_types is not None else [None] * len(covering)
         attributes = relevant_attributes(expr, *covering)
-        formula = _query_formula(expr, xml_type, attributes)
+        labels = self._labels((expr, *covering), (xml_type, *covering_types))
+        formula = _query_formula(expr, xml_type, attributes, labels)
         for other, other_type in zip(covering, covering_types):
-            formula = sx.mk_and(formula, negate(_query_formula(other, other_type, attributes)))
+            formula = sx.mk_and(
+                formula, negate(_query_formula(other, other_type, attributes, labels))
+            )
         result = self._solve(formula)
         return AnalysisResult(
             problem=f"coverage of {expr} by {len(covering)} expressions",
             holds=not result.satisfiable,
             solver_result=result,
-            counterexample=result.model_document(),
+            counterexample=self._counterexample(result, labels, xml_type, *covering_types),
         )
 
     def type_inclusion(self, expr, input_type, output_type) -> AnalysisResult:
         """Static type checking of an annotated query: is every node selected by
         ``expr`` under ``input_type`` the root of a subtree of ``output_type``?"""
         attributes = type_inclusion_attributes(expr, input_type, output_type)
+        labels = self._labels((expr,), (input_type, output_type))
         formula = sx.mk_and(
-            _query_formula(expr, input_type, attributes),
+            _query_formula(expr, input_type, attributes, labels),
             negate(
                 _type_formula(
-                    output_type, constrain_siblings=False, attributes=attributes
+                    output_type,
+                    constrain_siblings=False,
+                    attributes=attributes,
+                    labels=labels,
                 )
             ),
         )
@@ -323,7 +437,7 @@ class Analyzer:
             problem=f"type inclusion of {expr}",
             holds=not result.satisfiable,
             solver_result=result,
-            counterexample=result.model_document(),
+            counterexample=self._counterexample(result, labels, input_type, output_type),
         )
 
 

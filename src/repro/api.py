@@ -72,7 +72,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.analysis.problems import relevant_attributes, type_inclusion_attributes
+from repro.analysis.problems import (
+    label_projection,
+    relevant_attributes,
+    relevant_labels,
+    type_inclusion_attributes,
+)
 from repro.cache import DiskSolveCache, SolveRecord
 from repro.core.errors import ReproError, UnsupportedTypeError
 from repro.logic import syntax as sx
@@ -80,8 +85,9 @@ from repro.logic.negation import negate
 from repro.solver.symbolic import SymbolicSolver
 from repro.trees.unranked import serialize_tree
 from repro.xmltypes.ast import BinaryTypeGrammar
-from repro.xmltypes.compile import compile_dtd, compile_grammar
+from repro.xmltypes.compile import compile_dtd, compile_grammar, project_grammar
 from repro.xmltypes.dtd import DTD
+from repro.xmltypes.membership import lift_wildcards
 from repro.xmltypes.library import builtin_dtd
 from repro.xpath import ast as xp
 from repro.xpath.compile import compile_xpath
@@ -293,6 +299,8 @@ class BatchReport:
     cache_hits: int
     #: Verdicts answered from the persistent cache (0 without ``cache_dir``).
     disk_cache_hits: int = 0
+    #: Worker processes the batch fanned out to (1: solved in-process).
+    workers: int = 1
 
     @property
     def errors(self) -> int:
@@ -306,11 +314,58 @@ class BatchReport:
             "solver_runs": self.solver_runs,
             "cache_hits": self.cache_hits,
             "disk_cache_hits": self.disk_cache_hits,
+            "workers": self.workers,
             "errors": self.errors,
         }
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.as_dict(), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing for multiprocess batch solving
+# ---------------------------------------------------------------------------
+
+#: The per-process analyzer of a :class:`~concurrent.futures.
+#: ProcessPoolExecutor` worker, created once by :func:`_pool_initializer`;
+#: its in-memory caches warm up over the worker's lifetime and its disk cache
+#: (when configured) is shared with every sibling process.
+_WORKER_ANALYZER: "StaticAnalyzer | None" = None
+
+
+def _pool_initializer(options: dict) -> None:
+    global _WORKER_ANALYZER
+    _WORKER_ANALYZER = StaticAnalyzer(**options)
+
+
+def _pool_solve(item: "tuple[int, Query]") -> tuple:
+    """Solve one indexed query in a worker; returns counters for aggregation."""
+    index, query = item
+    analyzer = _WORKER_ANALYZER
+    runs = analyzer.solver_runs
+    hits = analyzer.solve_cache_hits
+    disk_hits = analyzer.disk_cache_hits
+    disk_writes = analyzer.disk_cache_writes
+    outcome = analyzer.solve(query)
+    return (
+        index,
+        outcome,
+        analyzer.solver_runs - runs,
+        analyzer.solve_cache_hits - hits,
+        analyzer.disk_cache_hits - disk_hits,
+        analyzer.disk_cache_writes - disk_writes,
+    )
+
+
+def _parallel_safe(query: Query) -> bool:
+    """Whether a query can be shipped to a worker process.
+
+    Raw-formula type constraints are hash-consed (equality is identity), so
+    pickling them across a process boundary would break their semantics;
+    such queries are solved in the parent instead.  Everything else — names,
+    ``None``, DTDs, grammars — round-trips through pickle safely.
+    """
+    return all(not isinstance(xml_type, sx.Formula) for xml_type in query.types)
 
 
 #: Input-shaped failures that :meth:`StaticAnalyzer.solve` converts into
@@ -349,11 +404,13 @@ class StaticAnalyzer:
         interleaved_order: bool = True,
         track_marks: bool = True,
         cache_dir: str | None = None,
+        prune_labels: bool = True,
     ):
         self.early_quantification = early_quantification
         self.monolithic_relation = monolithic_relation
         self.interleaved_order = interleaved_order
         self.track_marks = track_marks
+        self.prune_labels = prune_labels
         self.disk_cache = (
             None
             if cache_dir is None
@@ -393,19 +450,39 @@ class StaticAnalyzer:
             self._type_refs.append(xml_type)
         return ("object", id(xml_type))
 
+    def _label_projection(
+        self, exprs: Sequence[object], types: Sequence[object]
+    ) -> tuple[str, ...] | None:
+        """The element alphabet to prune type constraints onto, or ``None``.
+
+        Delegates to :func:`repro.analysis.problems.label_projection` (the
+        single home of the soundness rule), comparing types through this
+        analyzer's cache keys so two mentions of the same built-in schema
+        name count as one type.  Returns ``None`` — no pruning — when the
+        analyzer was built with ``prune_labels=False`` or the problem mixes
+        distinct schemas.
+        """
+        if not self.prune_labels:
+            return None
+        return label_projection(exprs, types, type_key=self._type_key)
+
     def type_formula(
         self,
         xml_type: object,
         constrain_siblings: bool = True,
         attributes: tuple[str, ...] = (),
+        labels: tuple[str, ...] | None = None,
     ) -> sx.Formula:
         """The (cached) Lµ translation of a type constraint (⊤ for ``None``).
 
         ``attributes`` is the attribute alphabet of the surrounding problem:
         DTD types project their ATTLIST constraints onto it (see
-        :mod:`repro.xmltypes.compile`); it is part of the cache key.
+        :mod:`repro.xmltypes.compile`).  ``labels`` is the problem's element
+        alphabet: when given, DTD/grammar element names outside it collapse
+        onto the "any other label" proposition (cone-of-influence Lean
+        pruning).  Both are part of the cache key.
         """
-        key = (self._type_key(xml_type), constrain_siblings, attributes)
+        key = (self._type_key(xml_type), constrain_siblings, attributes, labels)
         cached = self._type_cache.get(key)
         if cached is not None:
             return cached
@@ -419,9 +496,13 @@ class StaticAnalyzer:
                 resolved,
                 constrain_siblings=constrain_siblings,
                 attributes=attributes or None,
+                labels=labels,
             )
         elif isinstance(resolved, BinaryTypeGrammar):
-            formula = compile_grammar(resolved, constrain_siblings=constrain_siblings)
+            grammar = (
+                project_grammar(resolved, labels) if labels is not None else resolved
+            )
+            formula = compile_grammar(grammar, constrain_siblings=constrain_siblings)
         else:
             raise UnsupportedTypeError(f"unsupported type constraint {resolved!r}")
         self._type_cache[key] = formula
@@ -432,34 +513,48 @@ class StaticAnalyzer:
         expr: str | xp.Expr,
         xml_type: object = None,
         attributes: tuple[str, ...] | None = None,
+        labels: tuple[str, ...] | None = None,
     ) -> sx.Formula:
         """The (cached) Lµ translation ``E→[[expr]]([[xml_type]])``.
 
         ``attributes`` is the problem's attribute alphabet (defaults to the
-        names this expression mentions on its own).
+        names this expression mentions on its own); ``labels`` the problem's
+        element alphabet for type pruning (defaults to no pruning).
         """
         if not isinstance(expr, str):
             # Pre-parsed expressions are not cacheable by text; translate only.
             if attributes is None:
                 attributes = relevant_attributes(expr)
-            return compile_xpath(expr, self.type_formula(xml_type, attributes=attributes))
+            return compile_xpath(
+                expr,
+                self.type_formula(xml_type, attributes=attributes, labels=labels),
+            )
         if attributes is None:
             attributes = relevant_attributes(expr)
-        key = (expr, self._type_key(xml_type), attributes)
+        key = (expr, self._type_key(xml_type), attributes, labels)
         cached = self._query_cache.get(key)
         if cached is not None:
             return cached
         formula = compile_xpath(
-            parse_xpath_cached(expr), self.type_formula(xml_type, attributes=attributes)
+            parse_xpath_cached(expr),
+            self.type_formula(xml_type, attributes=attributes, labels=labels),
         )
         self._query_cache[key] = formula
         return formula
 
-    def _solve(self, formula: sx.Formula) -> tuple[SolveRecord, str | None]:
+    def _solve(
+        self,
+        formula: sx.Formula,
+        lift_context: tuple[DTD, tuple[str, ...]] | None = None,
+    ) -> tuple[SolveRecord, str | None]:
         """Solve a formula, answering from a cache layer when possible.
 
         Returns the verdict record plus the layer that answered: ``"memory"``,
         ``"disk"``, or ``None`` when the solver actually ran.
+        ``lift_context`` is the ``(schema, kept alphabet)`` to lift a pruned
+        witness's collapsed labels against (see :func:`repro.xmltypes.
+        membership.lift_wildcards`); lifting is deterministic, so cached
+        records are already lifted.
         """
         record = self._solve_cache.get(formula)
         if record is not None:
@@ -481,6 +576,9 @@ class StaticAnalyzer:
         result = solver.solve()
         self.solver_runs += 1
         document = result.model_document()
+        if document is not None and lift_context is not None:
+            lift_dtd, kept_labels = lift_context
+            document = lift_wildcards(lift_dtd, document, exclude=kept_labels) or document
         record = SolveRecord(
             satisfiable=result.satisfiable,
             counterexample=None if document is None else serialize_tree(document),
@@ -531,10 +629,27 @@ class StaticAnalyzer:
             return self._equivalence(query)
         try:
             formula, problem, positive = self._reduce(query)
-            record, source = self._solve(formula)
+            record, source = self._solve(formula, self._lift_context(query))
         except ANALYSIS_ERRORS as exc:
             return self._error_outcome(query, exc)
         return self._outcome(query, problem, record, source, positive)
+
+    def _lift_context(self, query: Query) -> tuple[DTD, tuple[str, ...]] | None:
+        """The schema and kept alphabet to lift pruned witnesses against.
+
+        ``None`` when no lifting applies (pruning off or skipped, or no DTD
+        in the problem).  The alphabet is passed to
+        :func:`repro.xmltypes.membership.lift_wildcards` as the *excluded*
+        names: a collapsed node stands for a label the queries never test.
+        """
+        labels = self._label_projection(query.exprs, query.types)
+        if labels is None:
+            return None
+        for xml_type in query.types:
+            resolved = self._resolve_type(xml_type)
+            if isinstance(resolved, DTD):
+                return resolved, labels
+        return None
 
     def _error_outcome(self, query: Query, exc: Exception) -> AnalysisOutcome:
         return AnalysisOutcome(
@@ -558,40 +673,43 @@ class StaticAnalyzer:
         (satisfiability, overlap) or when it is unsatisfiable (the rest).
         """
         kind, exprs, types = query.kind, query.exprs, query.types
-        # All expressions of a problem share one attribute alphabet so type
-        # constraints agree across the sub-formulas (see repro.analysis);
-        # type_inclusion derives a richer alphabet of its own in its branch.
+        # All expressions of a problem share one attribute alphabet (and one
+        # element alphabet for pruning) so type constraints agree across the
+        # sub-formulas (see repro.analysis); type_inclusion derives a richer
+        # attribute alphabet of its own in its branch.
+        labels = self._label_projection(exprs, types)
         if kind != "type_inclusion":
             attributes = relevant_attributes(*exprs)
         if kind == "satisfiability":
             return (
-                self.query_formula(exprs[0], types[0], attributes),
+                self.query_formula(exprs[0], types[0], attributes, labels),
                 f"satisfiability of {exprs[0]}",
                 True,
             )
         if kind == "emptiness":
             return (
-                self.query_formula(exprs[0], types[0], attributes),
+                self.query_formula(exprs[0], types[0], attributes, labels),
                 f"emptiness of {exprs[0]}",
                 False,
             )
         if kind == "containment":
             formula = sx.mk_and(
-                self.query_formula(exprs[0], types[0], attributes),
-                negate(self.query_formula(exprs[1], types[1], attributes)),
+                self.query_formula(exprs[0], types[0], attributes, labels),
+                negate(self.query_formula(exprs[1], types[1], attributes, labels)),
             )
             return formula, f"containment {exprs[0]} ⊆ {exprs[1]}", False
         if kind == "overlap":
             formula = sx.mk_and(
-                self.query_formula(exprs[0], types[0], attributes),
-                self.query_formula(exprs[1], types[1], attributes),
+                self.query_formula(exprs[0], types[0], attributes, labels),
+                self.query_formula(exprs[1], types[1], attributes, labels),
             )
             return formula, f"overlap of {exprs[0]} and {exprs[1]}", True
         if kind == "coverage":
-            formula = self.query_formula(exprs[0], types[0], attributes)
+            formula = self.query_formula(exprs[0], types[0], attributes, labels)
             for other, other_type in zip(exprs[1:], types[1:]):
                 formula = sx.mk_and(
-                    formula, negate(self.query_formula(other, other_type, attributes))
+                    formula,
+                    negate(self.query_formula(other, other_type, attributes, labels)),
                 )
             return formula, f"coverage of {exprs[0]} by {len(exprs) - 1} expressions", False
         if kind == "type_inclusion":
@@ -602,10 +720,13 @@ class StaticAnalyzer:
                 exprs[0], self._resolve_type(types[0]), self._resolve_type(types[1])
             )
             formula = sx.mk_and(
-                self.query_formula(exprs[0], types[0], attributes),
+                self.query_formula(exprs[0], types[0], attributes, labels),
                 negate(
                     self.type_formula(
-                        types[1], constrain_siblings=False, attributes=attributes
+                        types[1],
+                        constrain_siblings=False,
+                        attributes=attributes,
+                        labels=labels,
                     )
                 ),
             )
@@ -670,28 +791,120 @@ class StaticAnalyzer:
 
     # -- batch -------------------------------------------------------------------
 
-    def solve_many(self, queries: Iterable[Query]) -> BatchReport:
+    def _options(self) -> dict:
+        """Constructor options replicating this analyzer in another process."""
+        return {
+            "early_quantification": self.early_quantification,
+            "monolithic_relation": self.monolithic_relation,
+            "interleaved_order": self.interleaved_order,
+            "track_marks": self.track_marks,
+            "cache_dir": None if self.disk_cache is None else str(self.disk_cache.directory),
+            "prune_labels": self.prune_labels,
+        }
+
+    def solve_many(self, queries: Iterable[Query], workers: int = 1) -> BatchReport:
         """Answer a batch of queries, amortising translations and solves.
 
         Queries over the same schema share its type translation; queries that
         reduce to the same Lµ formula (duplicates, or e.g. a containment that
         an equivalence in the batch already checked) share one solver run.
         The returned :class:`BatchReport` records how much was shared.
+
+        With ``workers > 1``, independent queries fan out to a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; result order always
+        matches query order.  Workers are fresh processes whose in-memory
+        caches warm up per worker — construct the analyzer with
+        ``cache_dir=...`` to share solver verdicts between them (the disk
+        store is atomic-publish-safe under concurrent writers, and its hits
+        and writes are aggregated into this analyzer's counters).  Queries
+        whose type constraints cannot cross a process boundary (raw Lµ
+        formulas) are transparently solved in the parent.
         """
+        queries = list(queries)
+        if workers <= 1 or len(queries) <= 1:
+            runs_before = self.solver_runs
+            hits_before = self.solve_cache_hits
+            disk_before = self.disk_cache_hits
+            started = time.perf_counter()
+            outcomes = [self.solve(query) for query in queries]
+            return BatchReport(
+                outcomes=outcomes,
+                total_seconds=time.perf_counter() - started,
+                solver_runs=self.solver_runs - runs_before,
+                cache_hits=self.solve_cache_hits - hits_before,
+                disk_cache_hits=self.disk_cache_hits - disk_before,
+            )
+        return self._solve_many_parallel(queries, workers)
+
+    def _dedupe_key(self, query: Query) -> tuple:
+        """A hashable identity for batch deduplication (types via cache keys)."""
+        return (
+            query.kind,
+            query.exprs,
+            tuple(self._type_key(xml_type) for xml_type in query.types),
+        )
+
+    def _solve_many_parallel(self, queries: list[Query], workers: int) -> BatchReport:
+        from concurrent.futures import ProcessPoolExecutor
+        from dataclasses import replace
+
+        started = time.perf_counter()
         runs_before = self.solver_runs
         hits_before = self.solve_cache_hits
         disk_before = self.disk_cache_hits
-        started = time.perf_counter()
-        outcomes = [self.solve(query) for query in queries]
+        outcomes: list[AnalysisOutcome | None] = [None] * len(queries)
+        # Ship each *distinct* query once: without deduplication every worker
+        # re-solves the duplicates the sequential path answers from its solve
+        # cache, and the fan-out loses exactly what the batch API gained.
+        groups: dict[tuple, list[int]] = {}
+        local: list[int] = []
+        for index, query in enumerate(queries):
+            if _parallel_safe(query):
+                groups.setdefault(self._dedupe_key(query), []).append(index)
+            else:
+                local.append(index)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_initializer,
+            initargs=(self._options(),),
+        ) as pool:
+            futures = [
+                pool.submit(_pool_solve, (indices[0], queries[indices[0]]))
+                for indices in groups.values()
+            ]
+            # Queries that cannot be shipped (raw-formula types) run in the
+            # parent while the workers chew on theirs.
+            for index in local:
+                outcomes[index] = self.solve(queries[index])
+            for future, indices in zip(futures, groups.values()):
+                index, outcome, runs, hits, disk_hits, disk_writes = future.result()
+                # The worker's query object is a pickle round-trip copy;
+                # hand the caller back the exact objects it submitted.
+                outcome.query = queries[index]
+                outcomes[index] = outcome
+                for duplicate in indices[1:]:
+                    outcomes[duplicate] = replace(
+                        outcome,
+                        query=queries[duplicate],
+                        from_cache=True,
+                        cache="memory",
+                        solve_seconds=0.0,
+                    )
+                    self.solve_cache_hits += 1
+                self.solver_runs += runs
+                self.solve_cache_hits += hits
+                self.disk_cache_hits += disk_hits
+                self.disk_cache_writes += disk_writes
         return BatchReport(
             outcomes=outcomes,
             total_seconds=time.perf_counter() - started,
             solver_runs=self.solver_runs - runs_before,
             cache_hits=self.solve_cache_hits - hits_before,
             disk_cache_hits=self.disk_cache_hits - disk_before,
+            workers=workers,
         )
 
 
-def solve_many(queries: Iterable[Query], **options) -> BatchReport:
+def solve_many(queries: Iterable[Query], workers: int = 1, **options) -> BatchReport:
     """One-shot batch entry point (a fresh :class:`StaticAnalyzer` per call)."""
-    return StaticAnalyzer(**options).solve_many(queries)
+    return StaticAnalyzer(**options).solve_many(queries, workers=workers)

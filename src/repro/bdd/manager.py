@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 
 @dataclass
@@ -94,6 +94,11 @@ class BDDManager:
         self._peak_nodes = 0
         self._gc_runs = 0
         self._reclaimed = 0
+        # GC participants: (roots provider, remap listener) pairs — see
+        # ``add_gc_hook``.  ``generation`` increments on every collection so
+        # holders of raw node ids can detect staleness.
+        self._gc_hooks: list[tuple[Callable[[], Iterable[int]], Callable[[dict[int, int]], None]]] = []
+        self.generation = 0
         for name in variables:
             self.add_variable(name)
 
@@ -161,21 +166,43 @@ class BDDManager:
         self._rename_cache.clear()
         self._restrict_cache.clear()
 
-    def garbage_collect(self, roots: Iterable[int]) -> dict[int, int]:
+    def add_gc_hook(
+        self,
+        roots: Callable[[], Iterable[int]],
+        remap: Callable[[dict[int, int]], None],
+    ) -> None:
+        """Register a GC participant holding raw node ids across collections.
+
+        ``roots()`` is called at the start of every :meth:`garbage_collect`
+        and must yield every node id the participant needs to survive;
+        ``remap(relocations)`` is called after the table has been rebuilt and
+        must translate (or drop) the participant's stored ids.  This is how
+        long-lived external structures — the partition and product caches of
+        :class:`repro.solver.relations.TransitionRelation`, the status cache
+        of :class:`repro.solver.relations.LeanEncoding` — stay valid when a
+        collection runs *during* a solve instead of between workloads.
+        """
+        self._gc_hooks.append((roots, remap))
+
+    def garbage_collect(self, roots: Iterable[int] = ()) -> dict[int, int]:
         """Rebuild the node table keeping only nodes reachable from ``roots``.
+
+        The roots of every registered GC hook (see :meth:`add_gc_hook`) are
+        collected as well, and hooks are given the relocation map afterwards
+        so their stored ids stay valid.
 
         Returns the relocation map ``old id -> new id`` for every surviving
         node (terminals map to themselves).  **All other node ids become
         invalid**, as do outstanding :class:`BDD` wrappers not covered by the
         map, and every operation cache is cleared; callers must translate the
-        ids they intend to keep.  Only the manager's own caches are cleared:
-        any *external* structure that memoises node ids (for example the
-        product caches of :class:`repro.solver.relations.TransitionRelation`)
-        must be discarded by the caller, so collect only between workloads,
-        never while such structures are live.
+        ids they intend to keep.  Any *external* structure that memoises node
+        ids and is not registered through :meth:`add_gc_hook` must be
+        discarded by the caller.
         """
         reachable: set[int] = set()
         stack = [root for root in roots]
+        for provider, _remap in self._gc_hooks:
+            stack.extend(provider())
         while stack:
             current = stack.pop()
             if current <= 1 or current in reachable:
@@ -207,7 +234,22 @@ class BDDManager:
         self.clear_caches()
         self._gc_runs += 1
         self._reclaimed += old_count - self.node_count()
+        self.generation += 1
+        for _provider, remap_listener in self._gc_hooks:
+            remap_listener(remap)
         return remap
+
+    def translate(self, remap: Mapping[int, int], node: int) -> int:
+        """Translate a node id through a GC relocation map, asserting validity.
+
+        Raises ``KeyError`` on a stale id (a node that was reclaimed although
+        a holder still references it) — the assert-and-clear contract of GC
+        hooks: surviving entries are translated, anything else must have been
+        dropped by its holder.
+        """
+        if node <= 1:
+            return node
+        return remap[node]
 
     # -- raw node constructors ------------------------------------------------
 
@@ -421,11 +463,14 @@ class BDDManager:
         if cached is not None:
             return cached
         low_result = self._exists(low, levels, cache_tag)
-        high_result = self._exists(high, levels, cache_tag)
         if level in levels:
-            result = self.disj(low_result, high_result)
+            # ∃v . f = f|v=0 ∨ f|v=1 — already ⊤ once either cofactor is.
+            if low_result == self.TRUE:
+                result = self.TRUE
+            else:
+                result = self.disj(low_result, self._exists(high, levels, cache_tag))
         else:
-            result = self._mk(level, low_result, high_result)
+            result = self._mk(level, low_result, self._exists(high, levels, cache_tag))
         self._quant_cache[key] = result
         return result
 
@@ -433,28 +478,50 @@ class BDDManager:
         """Universal quantification over the given variables."""
         return self.neg(self.exists(self.neg(node), names))
 
-    def and_exists(self, a: int, b: int, names: Iterable[str]) -> int:
+    def and_exists(
+        self,
+        a: int,
+        b: int,
+        names: Iterable[str],
+        cache: dict[tuple[int, int], int] | None = None,
+    ) -> int:
         """The relational product ``∃ names . a ∧ b`` computed in one pass.
 
         This is the operation at the heart of the conjunctive-partitioning
         optimisation of Section 7.3: conjoining a partition of the transition
         relation with the current frontier and quantifying variables out
         without ever building the full conjunction.
+
+        ``cache`` may be a caller-owned memo dictionary, persisted across
+        calls that share the same quantified variable set: the frontier
+        fixpoint pushes monotonically growing sets through fixed relation
+        blocks, so later products recurse into subproblems earlier products
+        already solved.  The caller is responsible for clearing the cache
+        when node ids are invalidated (garbage collection).
         """
         levels = frozenset(self._var_levels[name] for name in names)
         if not levels:
             return self.conj(a, b)
-        return self._and_exists(a, b, levels, cache={})
+        return self._and_exists(a, b, levels, cache if cache is not None else {})
 
     def _and_exists(
         self, a: int, b: int, levels: frozenset[int], cache: dict[tuple[int, int], int]
     ) -> int:
-        if a == self.FALSE or b == self.FALSE:
-            return self.FALSE
-        if a == self.TRUE and b == self.TRUE:
-            return self.TRUE
-        if a == self.TRUE or b == self.TRUE:
-            node = b if a == self.TRUE else a
+        """Recursive core of :meth:`and_exists`.
+
+        Recursion depth is bounded by the variable count (once per level), so
+        the C stack is safe; an algebraic short-circuit prunes whole
+        branches: when the split level is quantified, ``∃v . f = f|₀ ∨ f|₁``
+        is already ``⊤`` once the low branch is — the high branch is never
+        computed.
+        """
+        FALSE, TRUE = self.FALSE, self.TRUE
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE and b == TRUE:
+            return TRUE
+        if a == TRUE or b == TRUE:
+            node = b if a == TRUE else a
             return self._exists(node, levels, cache_tag=("exists", levels))
         if a > b:
             a, b = b, a
@@ -462,15 +529,29 @@ class BDDManager:
         cached = cache.get(key)
         if cached is not None:
             return cached
-        level = min(self._level(a), self._level(b))
-        a_low, a_high = self._cofactors(a, level)
-        b_low, b_high = self._cofactors(b, level)
-        low = self._and_exists(a_low, b_low, levels, cache)
-        high = self._and_exists(a_high, b_high, levels, cache)
-        if level in levels:
-            result = self.disj(low, high)
+        nodes = self._nodes
+        a_level, a_low, a_high = nodes[a]
+        b_level, b_low, b_high = nodes[b]
+        if a_level < b_level:
+            level = a_level
+            b_low = b_high = b
+        elif b_level < a_level:
+            level = b_level
+            a_low = a_high = a
         else:
-            result = self._mk(level, low, high)
+            level = a_level
+        quantified = level in levels
+        low = self._and_exists(a_low, b_low, levels, cache)
+        if quantified and low == TRUE:
+            result = TRUE
+        else:
+            high = self._and_exists(a_high, b_high, levels, cache)
+            if quantified:
+                result = self.disj(low, high)
+            elif low == high:
+                result = low
+            else:
+                result = self._mk(level, low, high)
         cache[key] = result
         return result
 
@@ -621,8 +702,13 @@ class BDDManager:
         """Names of the variables the function actually depends on."""
         return {self._var_names[level] for level in self._support_levels(node)}
 
-    def dag_size(self, node: int) -> int:
-        """Number of internal nodes reachable from ``node``."""
+    def dag_size(self, node: int, limit: int | None = None) -> int:
+        """Number of internal nodes reachable from ``node``.
+
+        With ``limit`` set, the walk stops as soon as more than ``limit``
+        nodes have been seen and returns ``limit + 1`` — for cheap "is this
+        function bigger than X" checks on potentially huge functions.
+        """
         seen: set[int] = set()
         stack = [node]
         while stack:
@@ -630,6 +716,8 @@ class BDDManager:
             if current <= 1 or current in seen:
                 continue
             seen.add(current)
+            if limit is not None and len(seen) > limit:
+                return limit + 1
             _level, low, high = self._nodes[current]
             stack.append(low)
             stack.append(high)
@@ -785,8 +873,15 @@ class BDD:
     def forall(self, names: Iterable[str]) -> "BDD":
         return BDD(self.manager, self.manager.forall(self.node, names))
 
-    def and_exists(self, other: "BDD", names: Iterable[str]) -> "BDD":
-        return BDD(self.manager, self.manager.and_exists(self.node, other.node, names))
+    def and_exists(
+        self,
+        other: "BDD",
+        names: Iterable[str],
+        cache: dict[tuple[int, int], int] | None = None,
+    ) -> "BDD":
+        return BDD(
+            self.manager, self.manager.and_exists(self.node, other.node, names, cache)
+        )
 
     def rename(self, mapping: Mapping[str, str]) -> "BDD":
         return BDD(self.manager, self.manager.rename(self.node, mapping))
@@ -813,8 +908,8 @@ class BDD:
     def support(self) -> set[str]:
         return self.manager.support(self.node)
 
-    def dag_size(self) -> int:
-        return self.manager.dag_size(self.node)
+    def dag_size(self, limit: int | None = None) -> int:
+        return self.manager.dag_size(self.node, limit)
 
     def pick_assignment(self) -> dict[str, bool] | None:
         return self.manager.pick_assignment(self.node)

@@ -10,7 +10,37 @@ unprimed/primed variable order used by the transition relations ``∆ₐ``.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Hashable, Iterable, Mapping, Sequence, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def cone_of_influence(
+    supports: Mapping[Node, frozenset[str]], goals: Iterable[str]
+) -> set[Node]:
+    """The constraints transitively connected to ``goals`` through shared variables.
+
+    ``supports`` maps each constraint to the set of variables it mentions;
+    ``goals`` is the variable set of interest (e.g. the support of a fixpoint
+    frontier, or the element names a query tests).  A constraint belongs to
+    the cone when its support intersects the goals, or intersects the support
+    of another constraint already in the cone — the standard cone-of-influence
+    closure used both to skip transition-relation partitions that cannot
+    affect a relational product and to project type constraints onto the
+    alphabet a problem can observe.
+    """
+    cone: set[Node] = set()
+    reached: set[str] = set(goals)
+    changed = True
+    while changed:
+        changed = False
+        for node, support in supports.items():
+            if node in cone or not (support & reached):
+                continue
+            cone.add(node)
+            reached |= support
+            changed = True
+    return cone
 
 
 def interleaved_pairs(names: Sequence[str], primed_suffix: str = "'") -> list[str]:

@@ -161,6 +161,13 @@ def lean_alphabet(formula: sx.Formula) -> dict[str, list[str]]:
     This is the ``Σ(ψ)`` part of ``Lean(ψ)`` (Section 6.1) before the
     implicit ``#other``/``#otherattr`` extras are appended; it is part of the
     cache key and stored in each entry for inspection.
+
+    With cone-of-influence pruning (the default), the formulas reaching the
+    cache are built over the problem's *pruned* element alphabet — collapsed
+    names are gone from the formula itself — so digests key on the pruned
+    alphabet automatically: a pruned and an unpruned reduction of the same
+    query are distinct cache entries, and pruned entries are shared by every
+    problem projecting onto the same alphabet.
     """
     return {
         "labels": sorted(sx.atomic_propositions(formula)),

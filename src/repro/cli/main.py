@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Stream JSON-lines requests on stdin; one JSON response per "
         "line on stdout. Control ops: {\"op\": \"ping\"|\"stats\"|\"schemas\"}.",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan queries out to N worker processes (responses stay in request "
+        "order; default: 1, in-process)",
+    )
     _add_cache_dir_option(serve)
 
     schemas = subparsers.add_parser(
@@ -102,7 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
         "names",
         nargs="*",
         metavar="NAME",
-        help="benchmarks to run: api-batch, cli-cache (default: all)",
+        help="benchmarks to run: api-batch, cli-cache, scaling, frontier "
+        "(default: all)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: scaling/frontier run depths 1-3 only, and the run "
+        "fails if the depth-3 product_calls counter regresses above the "
+        "committed threshold",
     )
     bench.add_argument(
         "--output-dir",

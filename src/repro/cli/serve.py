@@ -6,6 +6,13 @@ share one :class:`repro.api.StaticAnalyzer`, so an editor or load generator
 can stream thousands of queries at a single set of warm caches; with
 ``--cache-dir`` the verdicts also persist across restarts.
 
+With ``--workers N`` the service fans query requests out to a process pool
+(responses still arrive strictly in request order; control operations act as
+barriers so ``stats`` always reflects every request before them).  The
+parent parses and validates every line — workers only ever see well-formed
+:class:`repro.api.Query` objects — and aggregates worker cache counters into
+its own statistics.
+
 Requests are either query objects in the wire format of
 :mod:`repro.cli.wire`, or control operations:
 
@@ -96,9 +103,16 @@ def serve(
     output_stream: IO[str],
     cache_dir: str | None = None,
     analyzer: StaticAnalyzer | None = None,
+    workers: int = 1,
 ) -> int:
-    """Run the request/response loop until end-of-input; returns exit code 0."""
+    """Run the request/response loop until end-of-input; returns exit code 0.
+
+    With ``workers > 1`` queries are dispatched to a process pool while the
+    loop keeps reading; responses are written strictly in request order.
+    """
     analyzer = analyzer or StaticAnalyzer(cache_dir=cache_dir)
+    if workers > 1:
+        return _serve_parallel(input_stream, output_stream, analyzer, workers)
     dtd_cache: wire.DTDCache = {}
     for line in input_stream:
         response = handle_line(line, analyzer, dtd_cache)
@@ -109,5 +123,129 @@ def serve(
     return 0
 
 
+def _serve_parallel(
+    input_stream: IO[str],
+    output_stream: IO[str],
+    analyzer: StaticAnalyzer,
+    workers: int,
+) -> int:
+    """The pipelined loop behind ``serve(..., workers=N)``.
+
+    A sliding window of at most ``4 * workers`` in-flight queries keeps the
+    pool busy without unbounded buffering; completed heads are flushed
+    eagerly after every submission, and control operations (or end of input)
+    drain the window so their responses observe every earlier request.
+    """
+    from collections import deque
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.api import _parallel_safe, _pool_initializer, _pool_solve
+
+    dtd_cache: wire.DTDCache = {}
+    max_in_flight = 4 * workers
+
+    def emit(response: dict) -> None:
+        output_stream.write(json.dumps(response, ensure_ascii=False) + "\n")
+        output_stream.flush()
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_pool_initializer,
+        initargs=(analyzer._options(),),
+    ) as pool:
+        pending: deque = deque()  # ("ready", response) | ("future", future, id)
+
+        def in_flight() -> int:
+            return sum(1 for entry in pending if entry[0] == "future")
+
+        def flush(block_head: bool = False) -> None:
+            """Emit completed responses from the head (in request order).
+
+            With ``block_head`` the head future is awaited, so callers can
+            apply backpressure one entry at a time.
+            """
+            while pending:
+                kind, *payload = pending[0]
+                if kind == "ready":
+                    emit(payload[0])
+                else:
+                    future, request_id = payload
+                    if not block_head and not future.done():
+                        break
+                    _index, outcome, runs, hits, disk_hits, disk_writes = (
+                        future.result()
+                    )
+                    analyzer.solver_runs += runs
+                    analyzer.solve_cache_hits += hits
+                    analyzer.disk_cache_hits += disk_hits
+                    analyzer.disk_cache_writes += disk_writes
+                    response = {} if request_id is None else {"id": request_id}
+                    response.update(ok=outcome.ok, outcome=outcome.as_dict())
+                    emit(response)
+                    block_head = False  # only force the first head
+                pending.popleft()
+
+        def drain() -> None:
+            while pending:
+                flush(block_head=True)
+
+        for line in input_stream:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                pending.append(("ready", {"ok": False, "error": wire.error_payload(exc)}))
+            else:
+                if not isinstance(payload, dict):
+                    pending.append(
+                        (
+                            "ready",
+                            {
+                                "ok": False,
+                                "error": {
+                                    "kind": "ProtocolError",
+                                    "message": "request must be an object",
+                                },
+                            },
+                        )
+                    )
+                elif "op" in payload:
+                    # Control operations are barriers: drain so e.g. stats
+                    # reflect every request submitted before them.
+                    drain()
+                    response = {"id": payload["id"]} if "id" in payload else {}
+                    response.update(handle_op(payload, analyzer))
+                    pending.append(("ready", response))
+                else:
+                    request_id = payload.get("id")
+                    try:
+                        query = wire.query_from_dict(payload, dtd_cache)
+                    except (wire.WireError, ValueError) as exc:
+                        response = {} if request_id is None else {"id": request_id}
+                        response.update(ok=False, error=wire.error_payload(exc))
+                        pending.append(("ready", response))
+                    else:
+                        if _parallel_safe(query):
+                            future = pool.submit(_pool_solve, (0, query))
+                            pending.append(("future", future, request_id))
+                        else:  # pragma: no cover - wire types are always safe
+                            outcome = analyzer.solve(query)
+                            response = {} if request_id is None else {"id": request_id}
+                            response.update(ok=outcome.ok, outcome=outcome.as_dict())
+                            pending.append(("ready", response))
+            flush()
+            while in_flight() > max_in_flight:
+                flush(block_head=True)
+        drain()
+    return 0
+
+
 def run(args) -> int:
-    return serve(sys.stdin, sys.stdout, cache_dir=args.cache_dir)
+    return serve(
+        sys.stdin,
+        sys.stdout,
+        cache_dir=args.cache_dir,
+        workers=getattr(args, "workers", 1) or 1,
+    )

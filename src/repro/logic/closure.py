@@ -139,6 +139,27 @@ class Lean:
         )
 
 
+def closure_alphabet(closure: set[sx.Formula]) -> tuple[set[str], set[str]]:
+    """The atomic propositions and attribute names of a set of formulas.
+
+    Collecting ``Σ(ψ)`` from the *closure* instead of the raw syntax tree is
+    the Lean-level half of cone-of-influence pruning: a proposition buried in
+    a fixpoint definition the formula never references cannot influence any
+    ψ-type, so it gets no bit.  (For formulas produced by the translations
+    the two coincide — every definition is reachable — but projected type
+    grammars and hand-built formulas can differ.)
+    """
+    labels: set[str] = set()
+    attributes: set[str] = set()
+    for item in closure:
+        kind = item.kind
+        if kind in (sx.KIND_PROP, sx.KIND_NPROP):
+            labels.add(item.label)
+        elif kind in (sx.KIND_ATTR, sx.KIND_NATTR):
+            attributes.add(item.label)
+    return labels, attributes
+
+
 def lean(formula: sx.Formula, extra_labels: tuple[str, ...] = ()) -> Lean:
     """Compute ``Lean(ψ)`` together with its bit-vector ordering.
 
@@ -147,15 +168,24 @@ def lean(formula: sx.Formula, extra_labels: tuple[str, ...] = ()) -> Lean:
     labels from a surrounding problem).  One attribute bit is allocated per
     attribute name occurring in ψ, plus the :data:`OTHER_ATTRIBUTE` bit;
     formulas without attribute propositions pay nothing.
+
+    The alphabet is read off the Fisher–Ladner closure (the formulas ψ-types
+    are actually built from), not the raw syntax tree — see
+    :func:`closure_alphabet`.
     """
     closure = fisher_ladner_closure(formula)
+    closure_labels, closure_attributes = closure_alphabet(closure)
 
-    labels = sorted(sx.atomic_propositions(formula) | set(extra_labels))
+    labels = sorted(closure_labels | set(extra_labels))
     if OTHER_LABEL not in labels:
         labels.append(OTHER_LABEL)
 
-    attribute_names = sorted(sx.attribute_propositions(formula) - {OTHER_ATTRIBUTE})
-    if attribute_names or sx.uses_attributes(formula):
+    # The wildcard ``@*`` is not a name of its own, but its presence (like
+    # any named attribute) forces the "other attribute" bit to exist.
+    attribute_names = sorted(
+        closure_attributes - {OTHER_ATTRIBUTE, sx.ANY_ATTRIBUTE}
+    )
+    if attribute_names or closure_attributes:
         attribute_names.append(OTHER_ATTRIBUTE)
 
     items: list[sx.Formula] = []

@@ -12,10 +12,10 @@ quantifying out primed variables as early as possible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.bdd.manager import BDD, BDDManager
-from repro.bdd.ordering import interleaved_pairs
+from repro.bdd.ordering import cone_of_influence, interleaved_pairs
 from repro.logic import syntax as sx
 from repro.logic.closure import Lean
 from repro.trees.focus import FORWARD_MODALITIES, MODALITIES
@@ -45,6 +45,19 @@ class LeanEncoding:
         self._status_cache: dict[tuple[sx.Formula, bool], BDD] = {}
         self._x_to_y = dict(zip(self.x_names, self.y_names))
         self._y_to_x = dict(zip(self.y_names, self.x_names))
+        self.manager.add_gc_hook(self._gc_roots, self._gc_remap)
+
+    # -- garbage-collection participation ----------------------------------------
+
+    def _gc_roots(self):
+        return [function.node for function in self._status_cache.values()]
+
+    def _gc_remap(self, remap: dict[int, int]) -> None:
+        manager = self.manager
+        self._status_cache = {
+            key: manager.wrap(manager.translate(remap, function.node))
+            for key, function in self._status_cache.items()
+        }
 
     # -- literals ------------------------------------------------------------------
 
@@ -185,10 +198,36 @@ class _ScheduleStep:
     once, at relation-construction time) and ``eliminable`` the primed
     variables that no later step mentions, so they can be quantified out as
     soon as the block has been conjoined with the frontier.
+    ``primed_support`` is the union of the grouped partitions' primed
+    supports and ``partition_count`` how many partitions the step bundles —
+    both feed the cone-of-influence skipping of :meth:`TransitionRelation.
+    _skippable_steps`.
     """
 
     block: BDD
     eliminable: frozenset[str]
+    primed_support: frozenset[str] = frozenset()
+    partition_count: int = 1
+    #: Persistent relational-product memo for this step (the block and the
+    #: eliminated variables are fixed, so only the incoming frontier varies);
+    #: cleared on garbage collection.
+    cache: dict[tuple[int, int], int] = field(default_factory=dict)
+
+
+@dataclass
+class _Component:
+    """A set of schedule steps connected through shared primed variables.
+
+    Components are variable-disjoint from one another, so the relational
+    product factorises across them: a component whose variables the frontier
+    never mentions contributes ``∃ vars . ∧ blocks`` — a constant that is
+    computed once (lazily, on the first skip opportunity) and, when it is
+    ``⊤``, lets the whole component be skipped.
+    """
+
+    steps: frozenset[int]
+    variables: frozenset[str]
+    vacuous: bool | None = field(default=None, compare=False)
 
 
 class TransitionRelation:
@@ -202,6 +241,23 @@ class TransitionRelation:
     the target's node id, so the fixpoint loop of :mod:`repro.solver.symbolic`
     never recomputes it when a set is unchanged between iterations (or when
     both the guarded and the strict witness of the same set are needed).
+
+    **Frontier (delta) products.**  The fixpoint sets grow monotonically, and
+    the relational product distributes over union::
+
+        ∃y ((U ∨ δ)(y) ∧ ∆ₐ(x,y))  =  ∃y (U(y) ∧ ∆ₐ) ∨ ∃y (δ(y) ∧ ∆ₐ)
+
+    so a caller that names the *chain* a target belongs to and hands over the
+    delta it grew by (``witness(U, chain="unmarked", delta=δ)`` — the solver
+    computes δ anyway to detect stabilisation) gets an incremental product:
+    only the delta is pushed through the partitions, and the result is
+    disjoined with the chain's previous product.  Late fixpoint iterations
+    therefore touch BDDs proportional to what *changed*, not to the whole
+    proved set.  ``delta_products`` counts the products answered this way and
+    ``partitions_skipped`` the partitions avoided by the cone-of-influence
+    check (a partition component whose primed variables the frontier never
+    mentions, and whose projection is vacuous, cannot affect the product —
+    and every partition of a product against the empty set).
     """
 
     def __init__(
@@ -230,9 +286,55 @@ class TransitionRelation:
         self._partition_primed: frozenset[str] = frozenset().union(
             *(partition.primed_support for partition in self.partitions)
         ) if self.partitions else frozenset()
+        self._step_supports: dict[int, frozenset[str]] = {
+            index: step.primed_support for index, step in enumerate(self._schedule)
+        }
+        self._components = self._build_components()
         self._product_cache: dict[int, BDD] = {}
+        # chain name -> product of the chain's last target (incremental base).
+        self._chains: dict[str, BDD] = {}
         self.product_calls = 0
         self.product_cache_hits = 0
+        self.delta_products = 0
+        self.partitions_skipped = 0
+        encoding.manager.add_gc_hook(self._gc_roots, self._gc_remap)
+
+    # -- garbage-collection participation ----------------------------------------
+
+    def _gc_roots(self):
+        roots = [partition.function.node for partition in self.partitions]
+        roots.extend(step.block.node for step in self._schedule)
+        if self._monolithic_relation is not None:
+            roots.append(self._monolithic_relation.node)
+        roots.extend(product.node for product in self._product_cache.values())
+        roots.extend(product.node for product in self._chains.values())
+        return roots
+
+    def _gc_remap(self, remap: dict[int, int]) -> None:
+        """Translate every stored node id; drop entries whose key died.
+
+        Product-cache *keys* are target node ids owned by the solver — a key
+        the solver no longer kept alive is stale and must be cleared (keeping
+        it could silently alias a different function that now occupies the
+        reclaimed id).
+        """
+        manager = self.encoding.manager
+        wrap = lambda function: manager.wrap(manager.translate(remap, function.node))
+        for partition in self.partitions:
+            partition.function = wrap(partition.function)
+        for step in self._schedule:
+            step.block = wrap(step.block)
+            step.cache.clear()
+        if self._monolithic_relation is not None:
+            self._monolithic_relation = wrap(self._monolithic_relation)
+        self._product_cache = {
+            remap[key]: wrap(product)
+            for key, product in self._product_cache.items()
+            if key in remap
+        }
+        self._chains = {
+            chain: wrap(product) for chain, product in self._chains.items()
+        }
 
     def _build_partitions(self) -> list[_Partition]:
         encoding = self.encoding
@@ -255,45 +357,111 @@ class TransitionRelation:
         return partitions
 
     def _build_schedule(self) -> list[_ScheduleStep]:
-        """Precompute the greedy elimination order of Section 7.3.
+        """Precompute the elimination order of Section 7.3.
 
-        The greedy choice (repeatedly eliminate the primed variable with the
-        smallest total support over the partitions that still mention it) only
-        depends on the partitions, never on the frontier, so the grouping of
-        partitions into blocks — and the block conjunctions themselves — are
-        computed once here instead of on every relational product.  A variable
-        becomes eliminable at the first step after which no later block
-        mentions it; the frontier is pure-primed, so it blocks nothing.
+        The greedy choice eliminates, at each step, the primed variable
+        mentioned by the *fewest remaining partitions* (so each block
+        conjoins as few partitions as possible), breaking ties towards the
+        shallowest variable in the interleaved order (quantifying
+        top-of-order ``y`` variables early collapses the upper levels of
+        every intermediate before the deeper equivalences are conjoined).
+        Against the previous min-total-support choice this measures ~3x
+        faster products on the deep-nesting scaling family and slightly
+        faster XHTML rows (see BENCH_scaling.json / BENCH_frontier.json).
+        The order only depends on the partitions, never on the frontier, so
+        the grouping of partitions into blocks — and the block conjunctions
+        themselves — are computed once here instead of on every relational
+        product.  A variable becomes eliminable at the first step after which
+        no later block mentions it; the frontier is pure-primed, so it blocks
+        nothing.
         """
+        level_of = self.encoding.manager.level_of
         remaining = list(self.partitions)
         grouped: list[list[_Partition]] = []
         while remaining:
-            costs: dict[str, int] = {}
+            mention_counts: dict[str, int] = {}
             for partition in remaining:
                 for name in partition.primed_support:
-                    costs[name] = costs.get(name, 0) + len(partition.primed_support)
-            if not costs:
+                    mention_counts[name] = mention_counts.get(name, 0) + 1
+            if not mention_counts:
                 grouped.append(remaining)
                 break
-            cheapest = min(costs, key=lambda name: (costs[name], name))
+            cheapest = min(
+                mention_counts, key=lambda name: (mention_counts[name], level_of(name))
+            )
             grouped.append([p for p in remaining if cheapest in p.primed_support])
             remaining = [p for p in remaining if cheapest not in p.primed_support]
 
         steps: list[_ScheduleStep] = []
         seen_later: set[str] = set()
-        pending_steps: list[tuple[BDD, frozenset[str]]] = []
+        pending_steps: list[tuple[BDD, frozenset[str], int]] = []
         for group in grouped:
             block = self.encoding.manager.true()
             support: set[str] = set()
             for partition in group:
                 block = block & partition.function
                 support |= partition.primed_support
-            pending_steps.append((block, frozenset(support)))
-        for block, support in reversed(pending_steps):
-            steps.append(_ScheduleStep(block, support - seen_later))
+            pending_steps.append((block, frozenset(support), len(group)))
+        for block, support, count in reversed(pending_steps):
+            steps.append(_ScheduleStep(block, support - seen_later, support, count))
             seen_later |= support
         steps.reverse()
         return steps
+
+    def _build_components(self) -> list[_Component]:
+        """Partition the schedule steps into variable-disjoint components."""
+        remaining = set(self._step_supports)
+        components: list[_Component] = []
+        while remaining:
+            seed = remaining.pop()
+            members = {seed} | cone_of_influence(
+                {index: self._step_supports[index] for index in remaining},
+                self._step_supports[seed],
+            )
+            remaining -= members
+            variables = frozenset().union(
+                *(self._step_supports[index] for index in members)
+            )
+            components.append(_Component(frozenset(members), variables))
+        return components
+
+    def _component_vacuous(self, component: _Component) -> bool:
+        """Whether ``∃ component.variables . ∧ blocks`` is ``⊤``.
+
+        Computed once per component, with the same early-quantification walk
+        a relational product uses (the component's variables are disjoint
+        from every other step, so each step's eliminable set stays valid).
+        """
+        current = self.encoding.manager.true()
+        for index in sorted(component.steps):
+            step = self._schedule[index]
+            current = current.and_exists(step.block, step.eliminable)
+        leftover = component.variables & set(current.support())
+        if leftover:
+            current = current.exists(leftover)
+        return current.is_true
+
+    def _skippable_steps(self, frontier_support: set[str]) -> frozenset[int]:
+        """Schedule steps this product can skip (cone-of-influence check).
+
+        A component is skippable when the frontier mentions none of its
+        variables *and* its projection is vacuous; its blocks then contribute
+        the constant ``⊤`` to the factorised product.
+        """
+        if not self._schedule:
+            return frozenset()
+        needed = cone_of_influence(self._step_supports, frontier_support)
+        if len(needed) == len(self._schedule):
+            return frozenset()
+        skippable: set[int] = set()
+        for component in self._components:
+            if component.steps & needed:
+                continue
+            if component.vacuous is None:
+                component.vacuous = self._component_vacuous(component)
+            if component.vacuous:
+                skippable |= component.steps
+        return frozenset(skippable)
 
     # -- relational products -----------------------------------------------------------
 
@@ -311,42 +479,80 @@ class TransitionRelation:
             return conjunction.exists(all_primed)
 
         current = frontier_y
+        frontier_support = set(current.support()) & all_primed
         # Variables only the frontier mentions can go immediately: no
         # partition constrains them.
-        frontier_only = (set(current.support()) & all_primed) - self._partition_primed
+        frontier_only = frontier_support - self._partition_primed
         if frontier_only:
             current = current.exists(frontier_only)
         quantified: set[str] = set(frontier_only)
-        for step in self._schedule:
-            current = current.and_exists(step.block, step.eliminable)
+        skipped = self._skippable_steps(frontier_support)
+        for index, step in enumerate(self._schedule):
+            if index in skipped:
+                self.partitions_skipped += step.partition_count
+                continue
+            current = current.and_exists(step.block, step.eliminable, step.cache)
             quantified |= step.eliminable
         leftover = (all_primed - quantified) & set(current.support())
         if leftover:
             current = current.exists(leftover)
         return current
 
-    def _witness_product(self, target_x: BDD) -> BDD:
-        """``∃y (target(y) ∧ ischildₐ(y) ∧ ∆ₐ(x,y))``, cached per target node."""
+    def _frontier(self, target_x: BDD) -> BDD:
+        """The primed frontier ``target(y) ∧ ischildₐ(y)`` of a product."""
+        return self.encoding.to_primed(target_x) & self.encoding.ischild(
+            self.program, primed=True
+        )
+
+    def _witness_product(
+        self, target_x: BDD, chain: str | None = None, delta: BDD | None = None
+    ) -> BDD:
+        """``∃y (target(y) ∧ ischildₐ(y) ∧ ∆ₐ(x,y))``, cached per target node.
+
+        ``chain`` names the monotonically-growing sequence of sets the target
+        belongs to (the solver's ``"unmarked"``/``"marked"`` chains) and
+        ``delta`` the set the target grew by since the chain's previous
+        product — the caller's invariant is ``target = previous ∨ delta``.
+        When both are given and a previous product exists, only the delta is
+        pushed through the partitions (see the class docstring).
+        """
+        if target_x.is_false:
+            # ∃y (⊥ ∧ ∆ₐ) — nothing to compute, every partition is skipped.
+            self.partitions_skipped += len(self.partitions)
+            product = self.encoding.manager.false()
+            if chain is not None:
+                self._chains[chain] = product
+            return product
         cached = self._product_cache.get(target_x.node)
         if cached is not None:
             self.product_cache_hits += 1
+            if chain is not None:
+                self._chains[chain] = cached
             return cached
+        base_product = self._chains.get(chain) if chain is not None else None
         self.product_calls += 1
-        frontier_y = self.encoding.to_primed(target_x) & self.encoding.ischild(
-            self.program, primed=True
-        )
-        product = self._product(frontier_y)
+        if base_product is not None and delta is not None:
+            self.delta_products += 1
+            product = base_product | self._product(self._frontier(delta))
+        else:
+            product = self._product(self._frontier(target_x))
         self._product_cache[target_x.node] = product
+        if chain is not None:
+            self._chains[chain] = product
         return product
 
-    def witness(self, target_x: BDD) -> BDD:
+    def witness(
+        self, target_x: BDD, chain: str | None = None, delta: BDD | None = None
+    ) -> BDD:
         """``Witₐ(target)``: ``isparentₐ(x) → ∃y (target(y) ∧ ischildₐ(y) ∧ ∆ₐ(x,y))``."""
-        product = self._witness_product(target_x)
+        product = self._witness_product(target_x, chain, delta)
         return self.encoding.isparent(self.program).implies(product)
 
-    def witness_strict(self, target_x: BDD) -> BDD:
+    def witness_strict(
+        self, target_x: BDD, chain: str | None = None, delta: BDD | None = None
+    ) -> BDD:
         """Like :meth:`witness` but the child must exist (mark propagation)."""
-        product = self._witness_product(target_x)
+        product = self._witness_product(target_x, chain, delta)
         return self.encoding.isparent(self.program) & product
 
     def child_constraint_parts(self, parent_bits: dict[int, bool]) -> list[BDD]:

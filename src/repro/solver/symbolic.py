@@ -51,6 +51,13 @@ class SolverStatistics:
       succeeded (early termination, Section 9) or the sets became stable.
     * ``relation_partitions`` — conjuncts across the two partitioned ``∆ₐ``
       relations (Section 7.3); 0 partitions means a trivial relation.
+    * ``delta_iterations`` — iterations whose relational products were
+      answered incrementally from the frontier (the delta against the
+      previous proved set) instead of from the whole set.
+    * ``partitions_skipped`` — relation partitions never conjoined because
+      the cone-of-influence check proved they could not affect a product
+      (vacuous components disjoint from the frontier, and every partition of
+      a product against the empty set).
     * ``peak_set_nodes`` — largest combined BDD size (in nodes) of the two
       proved-type sets ``U``/``M`` across iterations: the memory high-water
       mark of the fixpoint computation.
@@ -70,6 +77,8 @@ class SolverStatistics:
     lean_size: int = 0
     iterations: int = 0
     relation_partitions: int = 0
+    delta_iterations: int = 0
+    partitions_skipped: int = 0
     peak_set_nodes: int = 0
     product_calls: int = 0
     product_cache_hits: int = 0
@@ -85,6 +94,8 @@ class SolverStatistics:
             "lean_size": self.lean_size,
             "iterations": self.iterations,
             "relation_partitions": self.relation_partitions,
+            "delta_iterations": self.delta_iterations,
+            "partitions_skipped": self.partitions_skipped,
             "peak_set_nodes": self.peak_set_nodes,
             "product_calls": self.product_calls,
             "product_cache_hits": self.product_cache_hits,
@@ -143,6 +154,15 @@ class SymbolicSolver:
       unsound behaviour that motivates the four-case update of Figure 16.
     * ``check_cycle_freeness`` — verify the input formula is cycle-free before
       solving (the algorithm is only correct for cycle-free formulas).
+    * ``frontier`` — compute relational products incrementally from the delta
+      against the previous iteration's sets (the frontier fixpoint); when
+      False every product is recomputed from the whole set, which is the
+      naive evaluation the ablation benchmark compares against.
+    * ``collect_every`` — run a BDD garbage collection every N fixpoint
+      iterations, keeping the loop's live sets (and every registered GC
+      participant) and remapping in place.  ``None`` disables collection;
+      useful for long-running solves whose intermediate results dominate the
+      node table.
     """
 
     formula: sx.Formula
@@ -152,8 +172,20 @@ class SymbolicSolver:
     interleaved_order: bool = True
     track_marks: bool = True
     check_cycle_freeness: bool = False
+    frontier: bool = True
+    collect_every: int | None = None
     max_iterations: int = 10_000
     keep_snapshots: bool = True
+
+    #: A delta product is attempted only when the delta's BDD is at least
+    #: this many times smaller than the set it grew (full products over the
+    #: persistent per-step caches are already incremental — only the changed
+    #: region does new work — so pushing the delta separately pays off only
+    #: when it is genuinely small).
+    DELTA_GATE_RATIO = 4
+    #: Sets smaller than this skip the gating arithmetic entirely: every
+    #: product over them is cheap either way.
+    DELTA_GATE_MIN_SET = 256
 
     _lean: Lean = field(init=False, repr=False)
     _plunged: sx.Formula = field(init=False, repr=False)
@@ -169,6 +201,16 @@ class SymbolicSolver:
     @property
     def lean(self) -> Lean:
         return self._lean
+
+    def _gate_delta(self, delta: BDD | None, set_size: int) -> BDD | None:
+        """Keep a delta only when pushing it separately can win (see
+        ``DELTA_GATE_RATIO``); ``None`` means "full product next time"."""
+        if delta is None:
+            return None
+        if set_size < self.DELTA_GATE_MIN_SET:
+            return delta
+        budget = set_size // self.DELTA_GATE_RATIO
+        return delta if delta.dag_size(limit=budget) <= budget else None
 
     # -- main loop --------------------------------------------------------------------
 
@@ -199,7 +241,8 @@ class SymbolicSolver:
         statistics.translation_seconds = time.perf_counter() - start_translation
         start_solve = time.perf_counter()
 
-        false = encoding.manager.false()
+        manager = encoding.manager
+        false = manager.false()
         unmarked = false
         marked = false
         snapshots: list[tuple[BDD, BDD]] = []
@@ -210,36 +253,90 @@ class SymbolicSolver:
         # actually changed in the previous iteration; together with the
         # per-target product cache in TransitionRelation this removes the
         # redundant relational products the naive loop performs once one of
-        # the two sets has stabilised.
+        # the two sets has stabilised.  With ``frontier`` on, the chains name
+        # the two monotone sequences so a recomputation only pushes the delta
+        # through the relation partitions.
         witness_unmarked: dict[int, BDD] = {}
         strict_marked: dict[int, BDD] = {}
         unmarked_node_seen: int | None = None
         marked_node_seen: int | None = None
+        unmarked_chain = "unmarked" if self.frontier else None
+        marked_chain = "marked" if self.frontier else None
+        delta_unmarked: BDD | None = None
+        delta_marked: BDD | None = None
+
+        def collect_garbage() -> None:
+            """GC the node table mid-fixpoint, remapping the loop's live state."""
+            nonlocal types, start_literal, final_filter, unmarked, marked
+            nonlocal witness_unmarked, strict_marked, snapshots
+            nonlocal unmarked_node_seen, marked_node_seen, false
+            nonlocal delta_unmarked, delta_marked
+            keep = [types, start_literal, final_filter, unmarked, marked]
+            keep.extend(witness_unmarked.values())
+            keep.extend(strict_marked.values())
+            keep.extend(f for f in (delta_unmarked, delta_marked) if f is not None)
+            for pair in snapshots:
+                keep.extend(pair)
+            remap = manager.garbage_collect([function.node for function in keep])
+            wrap = lambda function: manager.wrap(
+                manager.translate(remap, function.node)
+            )
+            types, start_literal = wrap(types), wrap(start_literal)
+            final_filter = wrap(final_filter)
+            old_unmarked_node, old_marked_node = unmarked.node, marked.node
+            unmarked, marked = wrap(unmarked), wrap(marked)
+            false = manager.false()
+            witness_unmarked = {p: wrap(f) for p, f in witness_unmarked.items()}
+            strict_marked = {p: wrap(f) for p, f in strict_marked.items()}
+            if delta_unmarked is not None:
+                delta_unmarked = wrap(delta_unmarked)
+            if delta_marked is not None:
+                delta_marked = wrap(delta_marked)
+            snapshots = [(wrap(u), wrap(m)) for u, m in snapshots]
+            unmarked_node_seen = (
+                unmarked.node if unmarked_node_seen == old_unmarked_node else None
+            )
+            marked_node_seen = (
+                marked.node if marked_node_seen == old_marked_node else None
+            )
+
+        # Loop invariants hoisted out of the iteration: the mark-free type
+        # filter and the negated start literal.
+        types_unmarked = types & ~start_literal
+        not_start = ~start_literal
 
         for iteration in range(1, self.max_iterations + 1):
             statistics.iterations = iteration
+            if self.collect_every and iteration % self.collect_every == 0:
+                collect_garbage()
+                types_unmarked = types & ~start_literal
+                not_start = ~start_literal
+            delta_before = sum(r.delta_products for r in relations.values())
             if self.track_marks:
                 if unmarked.node != unmarked_node_seen:
                     witness_unmarked = {
-                        program: relations[program].witness(unmarked)
+                        program: relations[program].witness(
+                            unmarked, unmarked_chain, delta_unmarked
+                        )
                         for program in (1, 2)
                     }
                     unmarked_node_seen = unmarked.node
-                new_unmarked = (
-                    types & ~start_literal & witness_unmarked[1] & witness_unmarked[2]
-                )
+                both_witnessed = witness_unmarked[1] & witness_unmarked[2]
+                new_unmarked = types_unmarked & both_witnessed
                 if marked.node != marked_node_seen:
                     strict_marked = {
-                        program: relations[program].witness_strict(marked)
+                        program: relations[program].witness_strict(
+                            marked, marked_chain, delta_marked
+                        )
                         for program in (1, 2)
                     }
                     marked_node_seen = marked.node
-                marked_here = start_literal & witness_unmarked[1] & witness_unmarked[2]
+                marked_here = start_literal & both_witnessed
                 marked_first = (
-                    ~start_literal & strict_marked[1] & witness_unmarked[2]
+                    not_start & strict_marked[1] & witness_unmarked[2]
                 )
                 marked_second = (
-                    ~start_literal & witness_unmarked[1] & strict_marked[2]
+                    not_start & witness_unmarked[1] & strict_marked[2]
                 )
                 new_marked = types & (marked_here | marked_first | marked_second)
             else:
@@ -255,17 +352,44 @@ class SymbolicSolver:
                     & relations[2].witness(marked)
                 )
 
-            next_unmarked = unmarked | new_unmarked
-            next_marked = marked | new_marked
-            changed = next_unmarked != unmarked or next_marked != marked
-            unmarked, marked = next_unmarked, next_marked
+            if sum(r.delta_products for r in relations.values()) > delta_before:
+                statistics.delta_iterations += 1
+
+            # The update operator is monotone and the iteration starts from
+            # ⊥, so the proved sets only grow: ``new_unmarked``/``new_marked``
+            # already contain the previous sets and *are* the next sets (no
+            # union needed).
+            unmarked_changed = new_unmarked != unmarked
+            marked_changed = new_marked != marked
+            changed = unmarked_changed or marked_changed
+            if self.frontier:
+                # The deltas feed the success check and — when small enough
+                # (see DELTA_GATE_RATIO) — the next iteration's incremental
+                # products; ¬unmarked/¬marked hit the manager's two-way
+                # negation cache, so this costs one conjunction per set that
+                # actually changed.
+                delta_unmarked = (
+                    (new_unmarked & ~unmarked) if unmarked_changed else None
+                )
+                delta_marked = (new_marked & ~marked) if marked_changed else None
+            unmarked, marked = new_unmarked, new_marked
             if self.keep_snapshots:
                 snapshots.append((unmarked, marked))
+            unmarked_size = unmarked.dag_size()
+            marked_size = marked.dag_size()
             statistics.peak_set_nodes = max(
-                statistics.peak_set_nodes, unmarked.dag_size() + marked.dag_size()
+                statistics.peak_set_nodes, unmarked_size + marked_size
             )
 
-            success = marked & final_filter
+            # Only types added this iteration can newly pass the final check:
+            # with the frontier on, testing the marked delta instead of the
+            # whole marked set is equivalent (earlier iterations tested the
+            # rest) and touches a much smaller BDD.
+            if self.frontier:
+                candidates = delta_marked if delta_marked is not None else false
+            else:
+                candidates = marked
+            success = candidates & final_filter
             if not success.is_false:
                 satisfiable = True
                 if self.track_marks:
@@ -280,11 +404,22 @@ class SymbolicSolver:
                 break
             if not changed:
                 break
+            if self.frontier:
+                # Gate the deltas the *next* iteration's products will see
+                # (after the success check, which needs the full marked
+                # delta): a delta close in size to its set is not worth
+                # pushing separately — the per-step product caches already
+                # make the full product incremental.
+                delta_unmarked = self._gate_delta(delta_unmarked, unmarked_size)
+                delta_marked = self._gate_delta(delta_marked, marked_size)
 
         statistics.solve_seconds = time.perf_counter() - start_solve
         statistics.product_calls = sum(r.product_calls for r in relations.values())
         statistics.product_cache_hits = sum(
             r.product_cache_hits for r in relations.values()
+        )
+        statistics.partitions_skipped = sum(
+            r.partitions_skipped for r in relations.values()
         )
         manager_stats = encoding.manager.statistics()
         statistics.bdd_node_count = manager_stats.node_count

@@ -113,6 +113,110 @@ class BinaryTypeGrammar:
             name=self.name,
         )
 
+    def relabelled(self, keep: set[str], other_label: str) -> "BinaryTypeGrammar":
+        """A copy whose labels outside ``keep`` all become ``other_label``.
+
+        This is a *label homomorphism*: the grammar's variables, alternatives
+        and recursion structure are untouched, only node labels collapse, so
+        the resulting language is exactly the homomorphic image of the
+        original one.  It is the projection step of cone-of-influence Lean
+        pruning: element names a problem's expressions never test are
+        indistinguishable to the problem, and collapsing them onto the
+        logic's "any other label" proposition removes one Lean bit per name
+        (plus the quadratic exactly-one-label constraints that go with them).
+        """
+        if keep >= self.labels():
+            return self
+        relabelled: dict[str, tuple[Alternative, ...]] = {}
+        for variable, alternatives in self.variables.items():
+            relabelled[variable] = tuple(
+                alternative
+                if not isinstance(alternative, LabelAlternative)
+                or alternative.label in keep
+                else LabelAlternative(other_label, alternative.first, alternative.next)
+                for alternative in alternatives
+            )
+        return BinaryTypeGrammar(
+            variables=relabelled, start=self.start, name=self.name
+        )
+
+    def minimized(self) -> "BinaryTypeGrammar":
+        """A copy merging language-equivalent variables (partition refinement).
+
+        Two variables are merged when their alternative sets coincide once
+        every referenced variable is replaced by its equivalence class — the
+        coarsest congruence, computed by the classic refine-until-stable
+        loop.  After :meth:`relabelled` has collapsed labels, many variables
+        become indistinguishable (every leaf element, every chain over
+        collapsed labels, ...), so the grammar — and with it the closure and
+        Lean of its compiled formula — shrinks accordingly.
+        """
+        variables = list(self.variables)
+        # The ε variable is its own fixed class; everything else starts in
+        # one class and is split by alternative signatures until stable.
+        classes: dict[str, int] = {variable: 0 for variable in variables}
+        classes[self.EPSILON_VARIABLE] = -1
+
+        def signature(variable: str):
+            parts = set()
+            for alternative in self.alternatives(variable):
+                if isinstance(alternative, LabelAlternative):
+                    parts.add(
+                        (
+                            alternative.label,
+                            classes.get(alternative.first, -1),
+                            classes.get(alternative.next, -1),
+                        )
+                    )
+                else:
+                    parts.add(("ε",))
+            return frozenset(parts)
+
+        while True:
+            buckets: dict[tuple[int, frozenset], int] = {}
+            next_classes: dict[str, int] = {self.EPSILON_VARIABLE: -1}
+            for variable in variables:
+                key = (classes[variable], signature(variable))
+                next_classes[variable] = buckets.setdefault(key, len(buckets))
+            stable = len(buckets) == len({classes[v] for v in variables})
+            classes = next_classes
+            if stable:
+                break
+
+        # One representative per class (the first in declaration order, so
+        # the start variable's class keeps a stable name).
+        representative: dict[int, str] = {}
+        for variable in variables:
+            representative.setdefault(classes[variable], variable)
+        if len(representative) == len(variables):
+            return self
+
+        def rename(variable: str) -> str:
+            if variable == self.EPSILON_VARIABLE or variable not in classes:
+                return variable
+            return representative[classes[variable]]
+
+        minimized: dict[str, tuple[Alternative, ...]] = {}
+        for variable in variables:
+            name = representative[classes[variable]]
+            if name in minimized:
+                continue
+            minimized[name] = tuple(
+                dict.fromkeys(
+                    alternative
+                    if not isinstance(alternative, LabelAlternative)
+                    else LabelAlternative(
+                        alternative.label,
+                        rename(alternative.first),
+                        rename(alternative.next),
+                    )
+                    for alternative in self.alternatives(variable)
+                )
+            )
+        return BinaryTypeGrammar(
+            variables=minimized, start=rename(self.start), name=self.name
+        )
+
     def describe(self) -> str:
         """Textual rendering in the style of Figure 13."""
         lines = []

@@ -44,10 +44,35 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.logic import syntax as sx
-from repro.logic.closure import OTHER_ATTRIBUTE
+from repro.logic.closure import OTHER_ATTRIBUTE, OTHER_LABEL
 from repro.xmltypes.ast import Alternative, BinaryTypeGrammar, LabelAlternative
 from repro.xmltypes.binarize import binarize_dtd
 from repro.xmltypes.dtd import DTD
+
+
+def project_grammar(
+    grammar: BinaryTypeGrammar,
+    labels: Iterable[str],
+    protected: Iterable[str] = (),
+) -> BinaryTypeGrammar:
+    """Project a grammar onto the element alphabet a problem observes.
+
+    Labels outside ``labels`` (and outside ``protected`` — e.g. elements
+    carrying attribute constraints the problem can test) collapse onto the
+    logic's "any other label" proposition, and language-equivalent variables
+    are then merged.  The projection is a pure label homomorphism followed by
+    a congruence quotient, so it is **semantics-preserving for any problem
+    whose node tests stay inside** ``labels``: a query that never names a
+    collapsed element cannot distinguish it from any other collapsed element,
+    and the grammar's structure (content models, recursion, nullability) is
+    kept intact.  See :func:`repro.analysis.problems.label_projection` for
+    when a whole decision problem may apply it.
+    """
+    keep = set(labels) | set(protected)
+    projected = grammar.relabelled(keep, OTHER_LABEL)
+    if projected is grammar:
+        return grammar
+    return projected.minimized()
 
 
 def _variable_formula_name(grammar_name: str, variable: str) -> str:
@@ -205,17 +230,29 @@ def compile_dtd(
     root: str | None = None,
     constrain_siblings: bool = True,
     attributes: Iterable[str] | None = None,
+    labels: Iterable[str] | None = None,
 ) -> sx.Formula:
     """Translate a DTD (with designated root element) into a closed Lµ formula.
 
     ``attributes`` is the attribute alphabet to project the DTD's ATTLIST
     declarations onto (``None`` or empty: attributes are unconstrained, the
     attribute-free behaviour of the paper).
+
+    ``labels`` is the element alphabet of the surrounding problem: when
+    given, element names outside it collapse onto the "any other label"
+    proposition before translation (:func:`project_grammar`), shrinking the
+    Lean proportionally.  Elements with a non-trivial attribute constraint
+    under the ``attributes`` alphabet are never collapsed — the problem can
+    still distinguish them through their attributes.
     """
     grammar = binarize_dtd(dtd, root=root)
     constraints = (
         attribute_constraints(dtd, attributes) if attributes is not None else None
     )
+    if labels is not None:
+        grammar = project_grammar(
+            grammar, labels, protected=constraints.keys() if constraints else ()
+        )
     return compile_grammar(
         grammar,
         constrain_siblings=constrain_siblings,

@@ -10,6 +10,8 @@ counterexample models.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.trees.binary import BinTree, to_binary
 from repro.trees.unranked import Tree
 from repro.xmltypes import content as cm
@@ -72,6 +74,84 @@ def dtd_accepts(dtd: DTD, document: Tree, root: str | None = None) -> bool:
         return all(valid(child) for child in node.children)
 
     return valid(document)
+
+
+def lift_wildcards(
+    dtd: DTD,
+    document: Tree,
+    wildcard: str = "_",
+    root: str | None = None,
+    exclude: "Iterable[str]" = (),
+) -> Tree | None:
+    """Reassign concrete element names to wildcard-labelled nodes.
+
+    Counterexample models solved under a *label-projected* type constraint
+    (cone-of-influence Lean pruning, :func:`repro.xmltypes.compile.
+    project_grammar`) carry the placeholder label for every element the
+    problem's expressions never test.  This is the lifting direction of the
+    projection's correctness argument made concrete: search for an
+    assignment of declared element names to the wildcard nodes under which
+    the whole document validates against the original DTD.  Returns the
+    relabelled document, or ``None`` when no assignment exists (e.g. the
+    model's typed region does not span the whole document, so parts of it
+    are genuinely unconstrained).
+
+    ``exclude`` must be the problem's kept alphabet: a wildcard node stands
+    for "some label *outside* the names the queries test", so assigning it a
+    kept name could change which nodes the queries select and hand back a
+    document that no longer witnesses the verdict.
+
+    The search is a backtracking walk of the content models (Brzozowski
+    derivatives, one nondeterministic choice per wildcard child); witness
+    documents are small, so this is cheap.
+    """
+    excluded = set(exclude)
+    names = tuple(name for name in dtd.elements if name not in excluded)
+    fit_cache: dict[tuple[int, str], Tree | None] = {}
+
+    def fit(node: Tree, name: str) -> Tree | None:
+        """The node relabelled as a valid ``name`` element, or ``None``."""
+        if node.label != wildcard and node.label != name:
+            return None
+        key = (id(node), name)
+        if key in fit_cache:
+            return fit_cache[key]
+        fit_cache[key] = None
+        declaration = dtd.elements.get(name)
+        result: Tree | None = None
+        if declaration is None:
+            # Referenced-but-undeclared elements must be empty.
+            result = (
+                Tree(name, (), node.marked, node.attributes)
+                if not node.children
+                else None
+            )
+        else:
+            for children in assignments(declaration.content, node.children, 0):
+                result = Tree(name, tuple(children), node.marked, node.attributes)
+                break
+        fit_cache[key] = result
+        return result
+
+    def assignments(model: cm.ContentModel, children: tuple[Tree, ...], index: int):
+        """Yield lifted children lists matching the content model."""
+        if index == len(children):
+            if cm.nullable(model):
+                yield []
+            return
+        child = children[index]
+        candidates = names if child.label == wildcard else (child.label,)
+        for name in candidates:
+            derived = cm._derivative(model, name)
+            if derived is None:
+                continue
+            lifted = fit(child, name)
+            if lifted is None:
+                continue
+            for rest in assignments(derived, children, index + 1):
+                yield [lifted, *rest]
+
+    return fit(document, root if root is not None else dtd.root)
 
 
 def dtd_attribute_violations(

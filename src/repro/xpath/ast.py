@@ -258,6 +258,43 @@ class ExprIntersection:
 Expr = Union[AbsolutePath, RelativePath, ExprUnion, ExprIntersection]
 
 
+def collect_labels(node: "Expr | Path | Qualifier") -> set[str]:
+    """The element names mentioned by an expression's node tests.
+
+    Wildcard steps (``a::*``) contribute nothing: they succeed at any element
+    whatever its name, so they never distinguish labels.  The analysis
+    problems use this to project type constraints onto the element alphabet a
+    problem can actually observe (cone-of-influence Lean pruning).
+    """
+    names: set[str] = set()
+
+    def walk(current) -> None:
+        if isinstance(current, Step):
+            if current.label is not None:
+                names.add(current.label)
+        elif isinstance(current, (AbsolutePath, RelativePath)):
+            walk(current.path)
+        elif isinstance(current, (ExprUnion, ExprIntersection, PathUnion)):
+            walk(current.left)
+            walk(current.right)
+        elif isinstance(current, PathCompose):
+            walk(current.first)
+            walk(current.second)
+        elif isinstance(current, QualifiedPath):
+            walk(current.path)
+            walk(current.qualifier)
+        elif isinstance(current, (QualifierAnd, QualifierOr)):
+            walk(current.left)
+            walk(current.right)
+        elif isinstance(current, QualifierNot):
+            walk(current.inner)
+        elif isinstance(current, QualifierPath):
+            walk(current.path)
+
+    walk(node)
+    return names
+
+
 def collect_attributes(node: "Expr | Path | Qualifier") -> tuple[set[str], bool]:
     """The attribute names mentioned by an expression, plus a wildcard flag.
 

@@ -122,10 +122,20 @@ def test_type_objects_and_names_are_both_accepted():
 
 
 def test_type_translation_cache_is_shared_across_queries():
+    # With label pruning (the default), the two queries project the schema
+    # onto different element alphabets, so each gets its own translation;
+    # with pruning off, the translation is shared across the whole workload.
     analyzer = StaticAnalyzer()
     analyzer.solve(Query.satisfiability("child::meta/child::title", "wikipedia"))
     analyzer.solve(Query.emptiness("child::meta/child::edit", "wikipedia"))
     stats = analyzer.cache_statistics()
+    assert stats["type_cache_entries"] == 2
+    assert stats["query_cache_entries"] == 2
+
+    unpruned = StaticAnalyzer(prune_labels=False)
+    unpruned.solve(Query.satisfiability("child::meta/child::title", "wikipedia"))
+    unpruned.solve(Query.emptiness("child::meta/child::edit", "wikipedia"))
+    stats = unpruned.cache_statistics()
     assert stats["type_cache_entries"] == 1
     assert stats["query_cache_entries"] == 2
     analyzer.clear_caches()
@@ -208,3 +218,71 @@ def test_equivalence_with_bad_side_is_a_structured_error():
     assert len(outcome.parts) == 2
     # Both containment directions mention the malformed expression.
     assert all(not part.ok for part in outcome.parts)
+
+
+# ---------------------------------------------------------------------------
+# Multiprocess batch solving
+# ---------------------------------------------------------------------------
+
+
+def test_solve_many_workers_matches_sequential_order_and_verdicts():
+    queries = [
+        Query.containment("child::a[b]", "child::a"),
+        Query.satisfiability("child::a"),
+        Query.containment("child::a[b]", "child::a"),  # duplicate
+        Query.overlap("a//b", "a/b"),
+        Query.emptiness("child::title/child::meta", "wikipedia"),
+    ]
+    sequential = StaticAnalyzer().solve_many(queries, workers=1)
+    parallel = StaticAnalyzer().solve_many(queries, workers=2)
+    assert [o.holds for o in parallel.outcomes] == [o.holds for o in sequential.outcomes]
+    assert [o.problem for o in parallel.outcomes] == [o.problem for o in sequential.outcomes]
+    assert parallel.workers == 2
+    # Callers get back the exact query objects they submitted.
+    assert all(o.query is q for o, q in zip(parallel.outcomes, queries))
+    # The duplicate was answered once and replicated, like the solve cache.
+    assert parallel.solver_runs == sequential.solver_runs
+    assert parallel.outcomes[2].from_cache
+
+
+def test_solve_many_workers_keeps_raw_formula_queries_in_parent():
+    from repro.logic import syntax as sx
+
+    queries = [
+        Query.satisfiability("child::a", sx.prop("a")),  # not picklable safely
+        Query.satisfiability("child::b"),
+    ]
+    report = StaticAnalyzer().solve_many(queries, workers=2)
+    assert [o.ok for o in report.outcomes] == [True, True]
+    assert [o.holds for o in report.outcomes] == [True, True]
+
+
+def test_solve_many_workers_propagates_structured_errors():
+    queries = [
+        Query.satisfiability("child::a["),          # parse error
+        Query.satisfiability("child::a", "nosuch"), # unknown schema
+        Query.satisfiability("child::a"),
+    ]
+    report = StaticAnalyzer().solve_many(queries, workers=2)
+    assert [o.ok for o in report.outcomes] == [False, False, True]
+    assert report.errors == 2
+    assert report.outcomes[0].error_kind == "ParseError"
+    assert report.outcomes[1].error_kind == "SchemaLookupError"
+
+
+def test_solve_many_workers_share_the_disk_cache(tmp_path):
+    cache_dir = str(tmp_path / "solve-cache")
+    first = StaticAnalyzer(cache_dir=cache_dir)
+    queries = [
+        Query.containment("child::a[b]", "child::a"),
+        Query.overlap("a//b", "a/b"),
+    ]
+    report = first.solve_many(queries, workers=2)
+    assert report.solver_runs == 2
+    assert first.disk_cache_writes == 2  # aggregated from the workers
+    # A second analyzer (fresh workers) answers everything from disk.
+    second = StaticAnalyzer(cache_dir=cache_dir)
+    replay = second.solve_many(queries, workers=2)
+    assert replay.solver_runs == 0
+    assert replay.disk_cache_hits == 2
+    assert [o.holds for o in replay.outcomes] == [o.holds for o in report.outcomes]

@@ -280,3 +280,74 @@ def test_cli_cache_workload_is_fifty_valid_requests():
     assert len({json.dumps(q, sort_keys=True) for q in workload}) == 50  # distinct ids
     for payload in workload:
         wire.query_from_dict(payload)  # every request is wire-valid
+
+
+# ---------------------------------------------------------------------------
+# serve --workers (parallel request/response loop)
+# ---------------------------------------------------------------------------
+
+
+def _serve_raw_lines(lines, **kwargs):
+    output = io.StringIO()
+    code = serve(io.StringIO("\n".join(lines) + "\n"), output, **kwargs)
+    assert code == 0
+    return [json.loads(line) for line in output.getvalue().splitlines()]
+
+
+def test_serve_workers_preserves_request_order_and_errors():
+    lines = [
+        '{"id": 1, "kind": "containment", "exprs": ["child::a[b]", "child::a"]}',
+        "this is not json",
+        '{"id": 3, "kind": "overlap", "exprs": ["a//b", "a/b"]}',
+        '{"id": 4, "kind": "satisfiability", "exprs": ["child::a["]}',
+        '{"id": 5, "kind": "emptiness", "exprs": ["child::title/child::meta"], "types": ["wikipedia"]}',
+    ]
+    sequential = _serve_raw_lines(lines, workers=1)
+    parallel = _serve_raw_lines(lines, workers=2)
+    assert [r.get("id") for r in parallel] == [1, None, 3, 4, 5]
+    assert [r.get("ok") for r in parallel] == [r.get("ok") for r in sequential]
+    for fast, slow in zip(parallel, sequential):
+        if fast.get("outcome") and slow.get("outcome"):
+            assert fast["outcome"]["holds"] == slow["outcome"]["holds"]
+
+
+def test_serve_workers_stats_op_is_a_barrier():
+    lines = [
+        '{"id": 1, "kind": "containment", "exprs": ["child::a[b]", "child::a"]}',
+        '{"id": 2, "kind": "overlap", "exprs": ["a//b", "a/b"]}',
+        '{"id": 3, "op": "stats"}',
+    ]
+    responses = _serve_raw_lines(lines, workers=2)
+    assert [r["id"] for r in responses] == [1, 2, 3]
+    # The barrier flushed both queries before answering, and the worker
+    # counters were folded into the parent's statistics.
+    assert responses[2]["stats"]["solver_runs"] == 2
+
+
+def test_serve_workers_share_the_persistent_cache(tmp_path):
+    cache_dir = str(tmp_path / "serve-cache")
+    lines = [
+        '{"id": 1, "kind": "containment", "exprs": ["child::a[b]", "child::a"]}',
+        '{"id": 2, "op": "stats"}',
+    ]
+    first = _serve_raw_lines(lines, cache_dir=cache_dir, workers=2)
+    assert first[1]["stats"]["disk_cache_writes"] == 1
+    replay = _serve_raw_lines(lines, cache_dir=cache_dir, workers=2)
+    assert replay[1]["stats"]["solver_runs"] == 0
+    assert replay[1]["stats"]["disk_cache_hits"] == 1
+
+
+def test_serve_workers_answers_non_object_json_lines():
+    """Regression: a line holding JSON `null` (or any non-object) must get a
+    ProtocolError response, not be silently dropped (which would shift every
+    later position-matched response by one)."""
+    lines = [
+        "null",
+        '{"id": 2, "kind": "overlap", "exprs": ["a//b", "a/b"]}',
+    ]
+    for workers in (1, 2):
+        responses = _serve_raw_lines(lines, workers=workers)
+        assert len(responses) == 2, responses
+        assert responses[0]["ok"] is False
+        assert responses[0]["error"]["kind"] == "ProtocolError"
+        assert responses[1]["id"] == 2 and responses[1]["ok"]
