@@ -123,7 +123,7 @@ MP_WORKERS = 4
 MP_REQUIRED_CPUS = 4
 
 
-def run_api_batch(repeats: int = 3) -> dict:
+def run_api_batch(repeats: int = 3, workers: int | None = None) -> dict:
     """Warm ``solve_many`` vs. cold per-query analyzers on Table 2 fast rows."""
     workload = [_query_from_spec(*spec) for spec in API_BATCH_BASE] * repeats
 
@@ -151,7 +151,9 @@ def run_api_batch(repeats: int = 3) -> dict:
             {"problem": outcome.problem, "holds": outcome.holds}
             for outcome in report.outcomes[: len(workload) // repeats]
         ],
-        "multiprocess": run_api_batch_multiprocess(),
+        "multiprocess": run_api_batch_multiprocess(
+            MP_WORKERS if workers is None else max(1, workers)
+        ),
     }
 
 
@@ -430,6 +432,9 @@ _RUNNERS = {
 #: Benchmarks that understand the ``--quick`` smoke mode.
 _QUICK_AWARE = {"scaling", "frontier"}
 
+#: Benchmarks whose multiprocess sections honour ``--workers``.
+_WORKERS_AWARE = {"api-batch"}
+
 
 def run(args) -> int:
     names = args.names or list(BENCHMARKS)
@@ -444,10 +449,16 @@ def run(args) -> int:
         return 2
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
+    workers = getattr(args, "workers", None)
     for name in names:
         runner = _RUNNERS[name]
+        kwargs = {}
+        if quick and name in _QUICK_AWARE:
+            kwargs["quick"] = True
+        if workers is not None and name in _WORKERS_AWARE:
+            kwargs["workers"] = workers
         try:
-            payload = runner(quick=True) if quick and name in _QUICK_AWARE else runner()
+            payload = runner(**kwargs)
         except RuntimeError as exc:
             print(f"repro bench: {name}: {exc}", file=sys.stderr)
             return 1

@@ -7,6 +7,13 @@ the user guide):
 * ``repro serve``   — streaming JSON-lines request/response loop.
 * ``repro schemas`` — list/inspect the bundled DTDs.
 * ``repro bench``   — re-emit the ``BENCH_*.json`` reports.
+* ``repro fuzz``    — differential fuzzing against the explicit oracles.
+
+Every subcommand shares the exit-code contract of ``repro analyze``: 0 on
+success, 1 when the run found what it looked for but the answer is "bad"
+(analysis errors, benchmark regressions, fuzz disagreements), 2 when the
+invocation or the run itself failed — internal errors print one diagnostic
+line to stderr instead of a traceback.
 
 The persistent solve cache is enabled by ``--cache-dir`` on ``analyze`` and
 ``serve``, or by the ``REPRO_CACHE_DIR`` environment variable (the flag
@@ -126,8 +133,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="where to write the BENCH_*.json files (default: current directory)",
     )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the multiprocess benchmark sections "
+        "(default: the benchmark's own setting)",
+    )
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing against bounded explicit oracles",
+        description="Generate random DTD/XPath decision problems, solve each "
+        "with pruning on/off x frontier deltas on/off, and cross-check every "
+        "verdict against bounded enumeration, the psi-type solver, and "
+        "witness replay. Prints a JSON campaign report; exit code 1 means a "
+        "disagreement was found (and shrunk into the corpus directory).",
+    )
+    from repro.cli import fuzz as fuzz_command
+
+    fuzz_command.add_arguments(fuzz)
 
     return parser
+
+
+#: Exit code for internal failures, shared by every subcommand (matching the
+#: documented ``repro analyze`` contract).
+EXIT_INTERNAL = 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -140,6 +173,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cli import serve as command
     elif args.command == "schemas":
         from repro.cli import schemas as command
+    elif args.command == "fuzz":
+        from repro.cli import fuzz as command
     else:
         from repro.cli import bench as command
     try:
@@ -150,3 +185,13 @@ def main(argv: list[str] | None = None) -> int:
         # /dev/null so the interpreter's exit-time flush cannot raise again.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:  # noqa: BLE001 - the CLI's last line of defence
+        # Internal errors become one diagnostic line and exit code 2, never
+        # a traceback: scripts driving the CLI rely on the 0/1/2 contract.
+        print(
+            f"repro {args.command}: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERNAL

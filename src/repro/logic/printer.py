@@ -58,10 +58,19 @@ def _format(formula: sx.Formula, parent_precedence: int) -> str:
         text = f"<{_format_program(formula.prog)}>{inner}"
         return text
     if kind == sx.KIND_OR:
-        text = f"{_format(formula.left, 1)} | {_format(formula.right, 1)}"
+        # The parser is left-associative, so a right-nested operand of the
+        # same connective must keep its parentheses to round-trip
+        # (parse(format(f)) is f — exercised by generator-based tests).
+        right = _format(formula.right, 1)
+        if formula.right.kind == sx.KIND_OR:
+            right = f"({right})"
+        text = f"{_format(formula.left, 1)} | {right}"
         return f"({text})" if parent_precedence > 1 else text
     if kind == sx.KIND_AND:
-        text = f"{_format(formula.left, 2)} & {_format(formula.right, 2)}"
+        right = _format(formula.right, 2)
+        if formula.right.kind == sx.KIND_AND:
+            right = f"({right})"
+        text = f"{_format(formula.left, 2)} & {right}"
         return f"({text})" if parent_precedence > 2 else text
     if kind in (sx.KIND_MU, sx.KIND_NU):
         keyword = "let_mu" if kind == sx.KIND_MU else "let_nu"

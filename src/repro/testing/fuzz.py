@@ -1,0 +1,508 @@
+"""The differential fuzzing campaign driver behind ``repro fuzz``.
+
+Every trial generates one decision problem (:func:`repro.testing.generators.
+gen_case`) and answers it four ways with the symbolic engine — cone-of-
+influence label pruning on/off × frontier delta products on/off — then
+cross-examines the verdict with the three oracles of
+:mod:`repro.testing.oracle`:
+
+* the four symbolic verdicts must be identical (ablation agreement);
+* a witness found by bounded focused-tree enumeration refutes an
+  "unsatisfiable" verdict;
+* the sampled Proposition 5.1 checks must find no model/semantics mismatch;
+* the gated ψ-type solver's verdict must match;
+* a "satisfiable" verdict's model document must replay cleanly through the
+  denotational semantics and DTD membership.
+
+Disagreements are shrunk (:func:`repro.testing.shrink.shrink_case`) and
+serialised into the corpus directory, where ``tests/test_corpus.py`` replays
+them forever.  Campaigns are deterministic: trial ``i`` of ``--seed S``
+always fuzzes the same case, whatever ``--workers`` says.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.problems import label_projection, relevant_attributes
+from repro.logic import syntax as sx
+from repro.logic.negation import negate
+from repro.solver.symbolic import SymbolicSolver
+from repro.testing.corpus import FuzzCase, write_corpus_case
+from repro.testing.generators import GeneratorConfig, gen_case
+from repro.testing.oracle import (
+    Bounds,
+    bounded_search,
+    explicit_verdict,
+    replay_witness,
+)
+from repro.testing.shrink import shrink_case
+from repro.trees.unranked import serialize_tree
+from repro.xmltypes.compile import compile_dtd
+from repro.xmltypes.dtd import DTD
+from repro.xpath.compile import compile_xpath
+from repro.xpath.parser import parse_xpath_cached
+
+#: The ablation matrix every trial runs: (prune_labels, frontier).
+ABLATION_MATRIX = (
+    (False, True),
+    (False, False),
+    (True, True),
+    (True, False),
+)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One campaign's parameters (all deterministic given ``seed``)."""
+
+    budget: int = 100
+    seed: int = 0
+    bounds: Bounds = field(default_factory=Bounds)
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    workers: int = 1
+    #: Where shrunk disagreements are serialised (``None``: not written).
+    corpus_dir: str | None = None
+    #: Additionally write this many shrunk *agreeing* cases as regression
+    #: seeds (spread over kinds and verdicts).
+    sample_corpus: int = 0
+
+    def trial_seeds(self) -> list[int]:
+        """The per-trial generator seeds; independent of ``workers``."""
+        master = random.Random(self.seed)
+        return [master.randrange(2**62) for _ in range(self.budget)]
+
+
+@dataclass
+class TrialOutcome:
+    """Everything one trial learned about its case."""
+
+    index: int
+    case: FuzzCase
+    satisfiable: bool | None = None
+    holds: bool | None = None
+    #: Verdicts of the 2×2 (pruning, frontier) ablation matrix.
+    ablation: dict = field(default_factory=dict)
+    disagreements: list[dict] = field(default_factory=list)
+    #: Oracle engagement counters for the campaign report.
+    enumeration_checked: int = 0
+    enumeration_exhausted: bool = False
+    enumeration_witness: bool = False
+    semantic_checks: int = 0
+    explicit_engaged: bool = False
+    replay_checked: bool = False
+    replay_skipped: bool = False
+    #: The case's Lean exceeded ``bounds.max_lean``; nothing was solved.
+    skipped_oversized: bool = False
+    lean_size: int = 0
+    error: str | None = None
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "case": self.case.as_dict(),
+            "satisfiable": self.satisfiable,
+            "holds": self.holds,
+            "disagreements": self.disagreements,
+            "error": self.error,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+def single_root() -> sx.Formula:
+    """The focus lies in a *single-rooted* document.
+
+    The logic's models are hedges: the solver happily exhibits witnesses
+    whose top level carries several sibling trees, which no XML document can
+    express and no denotational oracle in this repository can evaluate (the
+    zipper's top level has no siblings).  Conjoining
+    ``µZ. (¬⟨1̄⟩⊤ ∧ ¬⟨2̄⟩⊤ ∧ ¬⟨2⟩⊤) ∨ ⟨1̄⟩Z ∨ ⟨2̄⟩Z`` — "walking up and left
+    from here ends at a lone top-level node" — restricts every fuzzed
+    problem to the XML-document reading the oracles decide.  On
+    single-rooted documents the constraint holds at every node, so it never
+    distorts a verdict within the oracles' model class.
+    """
+    return sx.mu1(
+        lambda z: sx.big_and((sx.no_dia(-1), sx.no_dia(-2), sx.no_dia(2)))
+        | sx.dia(-1, z)
+        | sx.dia(-2, z),
+        prefix="SingleRoot",
+    )
+
+
+def _lean_size(formula: sx.Formula) -> int:
+    """Size of the Lean the solver would work over (of the plunged formula)."""
+    from repro.logic.closure import lean as compute_lean
+
+    plunged = sx.mu1(
+        lambda x: formula | sx.dia(1, x) | sx.dia(2, x), prefix="Plunge"
+    )
+    return len(compute_lean(plunged))
+
+
+def case_formula(case: FuzzCase, dtd: DTD | None, pruned: bool) -> sx.Formula:
+    """The Lµ reduction of the case (optionally label-pruned)."""
+    attributes = relevant_attributes(*case.exprs)
+    labels = None
+    if pruned:
+        labels = label_projection(case.exprs, (dtd,) * len(case.exprs))
+    if dtd is None:
+        context = sx.TRUE
+    else:
+        context = compile_dtd(dtd, attributes=attributes or None, labels=labels)
+    queries = [
+        compile_xpath(parse_xpath_cached(text), context) for text in case.exprs
+    ]
+    if case.kind in ("satisfiability", "emptiness"):
+        reduced = queries[0]
+    elif case.kind == "containment":
+        reduced = sx.mk_and(queries[0], negate(queries[1]))
+    elif case.kind == "overlap":
+        reduced = sx.mk_and(queries[0], queries[1])
+    else:
+        raise AssertionError(f"unknown fuzz kind {case.kind!r}")
+    return sx.mk_and(reduced, single_root())
+
+
+def evaluate_case(
+    case: FuzzCase, bounds: Bounds = Bounds(), index: int = 0
+) -> TrialOutcome:
+    """Run one case through the ablation matrix and every oracle."""
+    started = time.perf_counter()
+    outcome = TrialOutcome(index=index, case=case)
+    dtd = case.dtd()
+    formulas = {
+        pruned: case_formula(case, dtd, pruned) for pruned in (False, True)
+    }
+
+    # Size gate: Lemma 6.7 bounds the solver by 2^O(lean), so a rare
+    # oversized case would otherwise dominate the campaign's wall clock.
+    outcome.lean_size = _lean_size(formulas[False])
+    if outcome.lean_size > bounds.max_lean:
+        outcome.skipped_oversized = True
+        outcome.seconds = time.perf_counter() - started
+        return outcome
+
+    # Symbolic verdicts: pruning on/off x frontier deltas on/off.  Formulas
+    # are hash-consed, so when pruning is a no-op (untyped case, or every
+    # element name already tested) both rows solve the *same* formula — one
+    # solver run answers both.
+    results = {}
+    solved: dict[tuple, object] = {}
+    for pruned, frontier in ABLATION_MATRIX:
+        key = (formulas[pruned], frontier)
+        if key not in solved:
+            solver = SymbolicSolver(formulas[pruned], frontier=frontier)
+            solved[key] = solver.solve()
+        results[(pruned, frontier)] = solved[key]
+    outcome.ablation = {
+        f"prune={pruned},frontier={frontier}": result.satisfiable
+        for (pruned, frontier), result in results.items()
+    }
+    verdicts = {result.satisfiable for result in results.values()}
+    reference = results[(False, True)]
+    outcome.satisfiable = reference.satisfiable
+    outcome.holds = case.holds(reference.satisfiable)
+    if len(verdicts) > 1:
+        outcome.disagreements.append(
+            {
+                "oracle": "ablation",
+                "detail": "pruning/frontier switches changed the verdict",
+                "verdicts": dict(outcome.ablation),
+            }
+        )
+
+    # Oracle 1: bounded enumeration + sampled Proposition 5.1 checks.
+    bounded = bounded_search(case, bounds, formula=formulas[False])
+    outcome.enumeration_checked = bounded.documents_checked
+    outcome.enumeration_exhausted = bounded.exhausted
+    outcome.enumeration_witness = bounded.witness_found
+    outcome.semantic_checks = bounded.semantic_checks
+    for mismatch in bounded.semantic_mismatches:
+        outcome.disagreements.append({"oracle": "semantics", "detail": mismatch})
+    if bounded.witness_found and not reference.satisfiable:
+        outcome.disagreements.append(
+            {
+                "oracle": "enumeration",
+                "detail": (
+                    "bounded enumeration found a witness but the symbolic "
+                    f"solver answered unsatisfiable: {bounded.witness}"
+                ),
+                "witness": serialize_tree(bounded.witness),
+            }
+        )
+
+    # Oracle 2: the psi-type algorithm (gated by its exponential cost).
+    explicit, _estimated = explicit_verdict(formulas[False], bounds)
+    if explicit is not None:
+        outcome.explicit_engaged = True
+        if explicit != reference.satisfiable:
+            outcome.disagreements.append(
+                {
+                    "oracle": "explicit",
+                    "detail": (
+                        f"psi-type solver answered {explicit}, symbolic solver "
+                        f"answered {reference.satisfiable}"
+                    ),
+                }
+            )
+
+    # Oracle 3: replay the symbolic model hedge.
+    if reference.satisfiable:
+        forest = reference.model_forest() or ()
+        if not forest:
+            outcome.replay_skipped = True
+        else:
+            outcome.replay_checked = True
+            problems = replay_witness(case, forest, dtd)
+            for problem in problems:
+                outcome.disagreements.append({"oracle": "witness", "detail": problem})
+
+    outcome.seconds = time.perf_counter() - started
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated campaign outcome (JSON-able via :meth:`as_dict`)."""
+
+    config: FuzzConfig
+    trials: list[TrialOutcome] = field(default_factory=list)
+    corpus_files: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def disagreements(self) -> list[dict]:
+        found = []
+        for trial in self.trials:
+            for disagreement in trial.disagreements:
+                found.append({"trial": trial.index, **disagreement})
+        return found
+
+    @property
+    def errors(self) -> list[dict]:
+        return [
+            {"trial": trial.index, "error": trial.error}
+            for trial in self.trials
+            if trial.error is not None
+        ]
+
+    def as_dict(self) -> dict:
+        trials = self.trials
+        sat = sum(1 for t in trials if t.satisfiable)
+        return {
+            "budget": self.config.budget,
+            "seed": self.config.seed,
+            "workers": self.config.workers,
+            "bounds": self.config.bounds.as_dict(),
+            "trials": len(trials),
+            "skipped_oversized": sum(1 for t in trials if t.skipped_oversized),
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "verdicts": {
+                "satisfiable": sat,
+                "unsatisfiable": sum(
+                    1 for t in trials if t.satisfiable is False
+                ),
+            },
+            "ablation": {
+                "matrix": [
+                    {"prune_labels": pruned, "frontier": frontier}
+                    for pruned, frontier in ABLATION_MATRIX
+                ],
+                "identical_verdicts": not any(
+                    d["oracle"] == "ablation" for d in self.disagreements
+                ),
+            },
+            "oracles": {
+                "enumeration_documents": sum(t.enumeration_checked for t in trials),
+                "enumeration_exhausted_trials": sum(
+                    1 for t in trials if t.enumeration_exhausted
+                ),
+                "enumeration_witnesses": sum(
+                    1 for t in trials if t.enumeration_witness
+                ),
+                "semantic_checks": sum(t.semantic_checks for t in trials),
+                "explicit_engaged_trials": sum(
+                    1 for t in trials if t.explicit_engaged
+                ),
+                "witness_replays": sum(1 for t in trials if t.replay_checked),
+                "witness_replays_skipped": sum(
+                    1 for t in trials if t.replay_skipped
+                ),
+            },
+            "disagreements": self.disagreements,
+            "errors": self.errors,
+            "corpus_files": list(self.corpus_files),
+        }
+
+
+def _run_trial(index: int, trial_seed: int, config: FuzzConfig) -> TrialOutcome:
+    rng = random.Random(trial_seed)
+    case = gen_case(rng, config.generator)
+    try:
+        return evaluate_case(case, config.bounds, index=index)
+    except Exception as exc:  # noqa: BLE001 - reported, never swallowed
+        outcome = TrialOutcome(index=index, case=case)
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+
+
+def _run_trial_chunk(args: tuple) -> list[TrialOutcome]:
+    config, indexed_seeds = args
+    return [_run_trial(index, seed, config) for index, seed in indexed_seeds]
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run a campaign; shrink and serialise whatever disagrees.
+
+    With ``workers > 1`` trials fan out to a process pool; results are
+    identical to a sequential run because every trial draws from its own
+    pre-computed seed.
+    """
+    started = time.perf_counter()
+    seeds = config.trial_seeds()
+    indexed = list(enumerate(seeds))
+    if config.workers > 1 and len(indexed) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = [
+            (config, indexed[offset :: config.workers])
+            for offset in range(config.workers)
+        ]
+        with ProcessPoolExecutor(max_workers=config.workers) as pool:
+            outcomes = [
+                outcome
+                for chunk in pool.map(_run_trial_chunk, chunks)
+                for outcome in chunk
+            ]
+        outcomes.sort(key=lambda outcome: outcome.index)
+    else:
+        outcomes = [_run_trial(index, seed, config) for index, seed in indexed]
+
+    report = FuzzReport(config=config, trials=outcomes)
+    if config.corpus_dir is not None:
+        _write_disagreements(report, config)
+        if config.sample_corpus:
+            _write_regression_samples(report, config)
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def _still_disagrees(bounds: Bounds):
+    def predicate(candidate: FuzzCase) -> bool:
+        return bool(evaluate_case(candidate, bounds).disagreements)
+
+    return predicate
+
+
+def _write_disagreements(report: FuzzReport, config: FuzzConfig) -> None:
+    """Shrink every disagreeing case and serialise it for permanent replay."""
+    for trial in report.trials:
+        if not trial.disagreements:
+            continue
+        shrunk = shrink_case(trial.case, _still_disagrees(config.bounds))
+        path = write_corpus_case(
+            config.corpus_dir,
+            shrunk,
+            origin=f"repro fuzz --seed {config.seed} (trial {trial.index})",
+            disagreement=trial.disagreements[0],
+        )
+        _record_corpus_file(report, path)
+
+
+def _verdict_preserved(reference: TrialOutcome, bounds: Bounds):
+    """Shrink predicate for regression seeds: same verdict, same shape.
+
+    Typedness is preserved (a typed case must not shrink into an untyped
+    one — the corpus should keep covering the DTD translation), and every
+    oracle must still agree on the candidate.
+    """
+
+    def predicate(candidate: FuzzCase) -> bool:
+        if (candidate.dtd_source is None) != (reference.case.dtd_source is None):
+            return False
+        if _mentions_attributes(reference.case) and not _mentions_attributes(candidate):
+            return False
+        outcome = evaluate_case(candidate, bounds)
+        return (
+            not outcome.disagreements
+            and outcome.error is None
+            and outcome.satisfiable == reference.satisfiable
+        )
+
+    return predicate
+
+
+def _mentions_attributes(case: FuzzCase) -> bool:
+    return bool(relevant_attributes(*case.exprs))
+
+
+def _write_regression_samples(report: FuzzReport, config: FuzzConfig) -> None:
+    """Serialise shrunk *agreeing* cases as permanent regression seeds.
+
+    Candidates are spread over (kind, verdict, typedness) so the corpus
+    covers the problem space instead of twelve flavours of the same case;
+    shrinking uses a verdict-preserving predicate, so the committed case is
+    the smallest one that still exercises the same engines the same way.
+    """
+    chosen: dict[tuple, TrialOutcome] = {}
+    for trial in report.trials:
+        if trial.disagreements or trial.error is not None or trial.satisfiable is None:
+            continue
+        if trial.satisfiable and not trial.replay_checked:
+            continue  # prefer cases whose witness actually replays
+        key = (
+            trial.case.kind,
+            trial.satisfiable,
+            trial.case.dtd_source is not None,
+            _mentions_attributes(trial.case),
+        )
+        if key not in chosen:
+            chosen[key] = trial
+        if len(chosen) >= config.sample_corpus:
+            break
+    extra = (
+        trial
+        for trial in report.trials
+        if not trial.disagreements
+        and trial.error is None
+        and trial.satisfiable is not None
+        and trial not in chosen.values()
+    )
+    samples = list(chosen.values())
+    while len(samples) < config.sample_corpus:
+        candidate = next(extra, None)
+        if candidate is None:
+            break
+        samples.append(candidate)
+    for trial in samples:
+        shrunk = shrink_case(
+            trial.case, _verdict_preserved(trial, config.bounds), budget=80
+        )
+        final = evaluate_case(shrunk, config.bounds)
+        path = write_corpus_case(
+            config.corpus_dir,
+            shrunk,
+            origin=f"repro fuzz --seed {config.seed} (trial {trial.index}, shrunk)",
+            expected={
+                "satisfiable": final.satisfiable,
+                "holds": final.holds,
+            },
+        )
+        _record_corpus_file(report, path)
+
+
+def _record_corpus_file(report: FuzzReport, path) -> None:
+    """Corpus file names are content-addressed: two trials shrinking to the
+    same minimal case rewrite one file, which must be reported once."""
+    text = str(path)
+    if text not in report.corpus_files:
+        report.corpus_files.append(text)

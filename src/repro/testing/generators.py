@@ -1,0 +1,479 @@
+"""Seeded random generators for DTDs, XPath expressions and documents.
+
+All generators draw from an explicit :class:`random.Random` instance, so a
+campaign is reproducible from its seed alone (see ``docs/TESTING.md`` for the
+reproduction workflow).  The defaults deliberately favour *small* artefacts:
+the differential oracles enumerate focused trees and ψ-types, whose cost is
+exponential in the problem size, and small inputs shrink better.
+
+Three invariants matter more than variety:
+
+* every generated DTD is produced as *source text* and parsed back through
+  :func:`repro.xmltypes.dtd.parse_dtd`, so the corpus files and the in-memory
+  problems can never drift apart;
+* every generated XPath expression satisfies ``parse_xpath(str(e)) == e`` —
+  qualifiers are only attached to steps and parenthesised unions (the shapes
+  the surface syntax can express), and attribute steps only appear in
+  trailing or qualifier position;
+* :func:`gen_tree` only emits documents that genuinely validate against the
+  generated DTD (content models are *sampled*, not approximated), so it can
+  seed membership oracles directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.testing.corpus import FUZZ_KINDS, FuzzCase
+from repro.trees.unranked import Tree
+from repro.xmltypes import content as cm
+from repro.xmltypes.dtd import DTD, parse_dtd
+from repro.xpath import ast as xp
+
+#: Element-name pool (generated DTDs draw a prefix of it).
+ELEMENT_NAMES = ("a", "b", "c", "d", "e", "f")
+
+#: Attribute-name pool for generated ATTLIST declarations.
+ATTRIBUTE_NAMES = ("p", "q", "r")
+
+#: A label guaranteed to lie outside every generated DTD and expression
+#: alphabet; queries occasionally test it so the "any other label"
+#: proposition of the Lean gets exercised.
+FOREIGN_LABEL = "zz"
+
+#: An attribute name outside :data:`ATTRIBUTE_NAMES`, for the same reason.
+FOREIGN_ATTRIBUTE = "zq"
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size knobs of the generators (see ``docs/TESTING.md``)."""
+
+    #: Elements a generated DTD declares (uniform in ``2..max_elements``).
+    max_elements: int = 4
+    #: Nesting depth of generated content models.
+    max_content_depth: int = 2
+    #: Attribute declarations spread over the DTD (0..max_attributes).
+    max_attributes: int = 2
+    #: Navigation steps per generated path.
+    max_steps: int = 3
+    #: Nesting depth of generated qualifiers.
+    max_qualifier_depth: int = 2
+    #: Probability that a generated case carries a DTD type constraint.
+    typed_probability: float = 0.75
+    #: Probability that a generated expression mentions attribute steps
+    #: (only effective when the DTD declares attributes, or untyped).
+    attribute_probability: float = 0.4
+    #: Depth bound for :func:`gen_tree` documents.
+    max_tree_depth: int = 4
+    #: Per-node child bound for :func:`gen_tree` documents.
+    max_tree_width: int = 3
+
+
+#: Axes weighted towards the ones with interesting translations; the heavy
+#: recursive axes appear but less often so oracle enumeration stays useful.
+_AXES = (
+    (xp.Axis.CHILD, 6),
+    (xp.Axis.SELF, 1),
+    (xp.Axis.PARENT, 2),
+    (xp.Axis.DESCENDANT, 3),
+    (xp.Axis.DESC_OR_SELF, 2),
+    (xp.Axis.ANCESTOR, 2),
+    (xp.Axis.ANC_OR_SELF, 1),
+    (xp.Axis.FOLL_SIBLING, 2),
+    (xp.Axis.PREC_SIBLING, 2),
+    (xp.Axis.FOLLOWING, 1),
+    (xp.Axis.PRECEDING, 1),
+)
+
+
+def _weighted(rng: random.Random, table) -> object:
+    choices, weights = zip(*table)
+    return rng.choices(choices, weights=weights, k=1)[0]
+
+
+# ---------------------------------------------------------------------------
+# DTDs and content models
+# ---------------------------------------------------------------------------
+
+
+def gen_content_model(
+    rng: random.Random, symbols: tuple[str, ...], depth: int
+) -> cm.ContentModel:
+    """A random content model over ``symbols`` with nesting up to ``depth``."""
+    if depth <= 0 or rng.random() < 0.4:
+        leaf: cm.ContentModel = cm.CSymbol(rng.choice(symbols))
+        return _maybe_occurrence(rng, leaf)
+    shape = rng.random()
+    if shape < 0.45:
+        parts = [
+            gen_content_model(rng, symbols, depth - 1) for _ in range(rng.randint(2, 3))
+        ]
+        return _maybe_occurrence(rng, cm.sequence(parts))
+    if shape < 0.9:
+        parts = [
+            gen_content_model(rng, symbols, depth - 1) for _ in range(rng.randint(2, 3))
+        ]
+        return _maybe_occurrence(rng, cm.choice(parts))
+    return _maybe_occurrence(rng, gen_content_model(rng, symbols, depth - 1))
+
+
+def _maybe_occurrence(rng: random.Random, model: cm.ContentModel) -> cm.ContentModel:
+    roll = rng.random()
+    if roll < 0.25:
+        return cm.COptional(model)
+    if roll < 0.45:
+        return cm.CStar(model)
+    if roll < 0.55:
+        return cm.CPlus(model)
+    return model
+
+
+def render_content(model: cm.ContentModel, top: bool = True) -> str:
+    """Render a content model back to DTD source syntax.
+
+    The top-level children specification must be a parenthesised group per
+    XML 1.0, so ``top=True`` wraps bare names and occurrence-suffixed
+    particles once more.
+    """
+    if isinstance(model, cm.CEmpty):
+        return "EMPTY"
+    text = _render_particle(model)
+    if top and not text.startswith("("):
+        return f"({text})"
+    if top and text.endswith(("?", "*", "+")):
+        return f"({text})"
+    return text
+
+
+def _render_particle(model: cm.ContentModel) -> str:
+    if isinstance(model, cm.CSymbol):
+        return model.name
+    if isinstance(model, cm.CSeq):
+        return f"({_render_particle(model.left)}, {_render_particle(model.right)})"
+    if isinstance(model, cm.CChoice):
+        return f"({_render_particle(model.left)} | {_render_particle(model.right)})"
+    if isinstance(model, cm.COptional):
+        return f"{_render_group(model.inner)}?"
+    if isinstance(model, cm.CStar):
+        return f"{_render_group(model.inner)}*"
+    if isinstance(model, cm.CPlus):
+        return f"{_render_group(model.inner)}+"
+    if isinstance(model, cm.CEmpty):  # pragma: no cover - only reachable nested
+        return "(#PCDATA)"
+    raise AssertionError(f"unknown content model {model!r}")
+
+
+def _render_group(model: cm.ContentModel) -> str:
+    text = _render_particle(model)
+    if text.startswith("(") and not text.endswith(("?", "*", "+")):
+        return text
+    return f"({text})"
+
+
+def gen_dtd(
+    rng: random.Random, config: GeneratorConfig = GeneratorConfig()
+) -> tuple[str, DTD]:
+    """A random DTD as ``(source text, parsed DTD)``.
+
+    The DTD declares 2..``max_elements`` elements; roughly a third are
+    ``EMPTY``, the rest carry random content models (which may recurse, may
+    reference later elements, and may describe the empty language — all of
+    which are legitimate fuzz food).  A few attribute declarations are
+    spread over the elements, mixing ``#REQUIRED`` and ``#IMPLIED``.
+    """
+    count = rng.randint(2, max(2, config.max_elements))
+    names = ELEMENT_NAMES[:count]
+    lines = []
+    for name in names:
+        if rng.random() < 0.3:
+            spec = "EMPTY"
+        else:
+            model = gen_content_model(rng, names, config.max_content_depth)
+            spec = render_content(model)
+        lines.append(f"<!ELEMENT {name} {spec}>")
+    for _ in range(rng.randint(0, config.max_attributes)):
+        element = rng.choice(names)
+        attribute = rng.choice(ATTRIBUTE_NAMES)
+        default = "#REQUIRED" if rng.random() < 0.5 else "#IMPLIED"
+        lines.append(f"<!ATTLIST {element} {attribute} CDATA {default}>")
+    source = "\n".join(lines)
+    return source, parse_dtd(source, root=names[0], name="fuzz")
+
+
+# ---------------------------------------------------------------------------
+# Documents valid for a DTD
+# ---------------------------------------------------------------------------
+
+
+def gen_tree(
+    rng: random.Random,
+    dtd: DTD,
+    config: GeneratorConfig = GeneratorConfig(),
+    attempts: int = 20,
+) -> Tree | None:
+    """A random document valid for the DTD, or ``None``.
+
+    Content models are sampled directly (one random word of the language per
+    node), biased towards short words near the depth bound.  ``None`` means
+    no valid document fits the bounds — possible when the DTD's language is
+    empty or every member is deeper than ``max_tree_depth``.
+    """
+    for _ in range(attempts):
+        tree = _gen_element(rng, dtd, dtd.root, config.max_tree_depth, config)
+        if tree is not None:
+            return tree
+    return None
+
+
+def _gen_element(
+    rng: random.Random, dtd: DTD, name: str, depth: int, config: GeneratorConfig
+) -> Tree | None:
+    attributes = _gen_attributes(rng, dtd, name)
+    declaration = dtd.elements.get(name)
+    if declaration is None:
+        # Referenced but undeclared: must be empty.
+        return Tree(name, (), False, attributes)
+    if depth <= 0:
+        # Out of depth budget: only elements that may legally be empty fit.
+        if cm.nullable(declaration.content):
+            return Tree(name, (), False, attributes)
+        return None
+    word = _sample_word(rng, declaration.content, config.max_tree_width, depth <= 1)
+    if word is None:
+        return None
+    children = []
+    for child_name in word:
+        child = _gen_element(rng, dtd, child_name, depth - 1, config)
+        if child is None:
+            return None
+        children.append(child)
+    return Tree(name, tuple(children), False, attributes)
+
+
+def _gen_attributes(rng: random.Random, dtd: DTD, name: str) -> tuple[str, ...]:
+    attributes = []
+    for declaration in dtd.attributes_of(name):
+        if declaration.required or rng.random() < 0.5:
+            attributes.append(declaration.name)
+    return tuple(attributes)
+
+
+def _sample_word(
+    rng: random.Random, model: cm.ContentModel, width: int, prefer_short: bool
+) -> list[str] | None:
+    """One random word of the content-model language, or ``None`` if every
+    choice within the width budget dead-ends."""
+    if isinstance(model, cm.CEmpty):
+        return []
+    if isinstance(model, cm.CSymbol):
+        return [model.name] if width >= 1 else None
+    if isinstance(model, cm.CSeq):
+        first = _sample_word(rng, model.left, width, prefer_short)
+        if first is None:
+            return None
+        rest = _sample_word(rng, model.right, width - len(first), prefer_short)
+        if rest is None:
+            return None
+        return first + rest
+    if isinstance(model, cm.CChoice):
+        branches = [model.left, model.right]
+        rng.shuffle(branches)
+        if prefer_short:
+            branches.sort(key=lambda part: not cm.nullable(part))
+        for branch in branches:
+            word = _sample_word(rng, branch, width, prefer_short)
+            if word is not None:
+                return word
+        return None
+    if isinstance(model, cm.COptional):
+        if prefer_short or rng.random() < 0.5:
+            return []
+        inner = _sample_word(rng, model.inner, width, prefer_short)
+        return inner if inner is not None else []
+    if isinstance(model, cm.CStar):
+        if prefer_short:
+            return []
+        return _sample_repeats(rng, model.inner, width, rng.randint(0, 2))
+    if isinstance(model, cm.CPlus):
+        repeats = 1 if prefer_short else rng.randint(1, 2)
+        return _sample_repeats(rng, model.inner, width, repeats, required=True)
+    raise AssertionError(f"unknown content model {model!r}")
+
+
+def _sample_repeats(
+    rng: random.Random,
+    inner: cm.ContentModel,
+    width: int,
+    repeats: int,
+    required: bool = False,
+) -> list[str] | None:
+    word: list[str] = []
+    for index in range(repeats):
+        part = _sample_word(rng, inner, width - len(word), index == repeats - 1)
+        if part is None:
+            if required and index == 0:
+                return None
+            break
+        word.extend(part)
+    return word
+
+
+# ---------------------------------------------------------------------------
+# XPath expressions
+# ---------------------------------------------------------------------------
+
+
+def gen_xpath(
+    rng: random.Random,
+    labels: tuple[str, ...],
+    attributes: tuple[str, ...] = (),
+    config: GeneratorConfig = GeneratorConfig(),
+) -> xp.Expr:
+    """A random expression of the fragment over the given alphabets.
+
+    ``labels`` are the element names node tests draw from (the foreign label
+    is mixed in occasionally); ``attributes`` the names attribute steps use
+    (empty: the expression is attribute-free).  The result always satisfies
+    ``parse_xpath(str(expr)) == expr``.
+    """
+    return _gen_expr(rng, labels, attributes, config, depth=1)
+
+
+def _gen_expr(rng, labels, attributes, config, depth: int) -> xp.Expr:
+    roll = rng.random()
+    # Expression-level union/intersection cannot be parenthesised in the
+    # surface syntax, so operands are plain paths (the printable shapes).
+    if depth > 0 and roll < 0.10:
+        return xp.ExprUnion(
+            _gen_expr(rng, labels, attributes, config, 0),
+            _gen_expr(rng, labels, attributes, config, 0),
+        )
+    if depth > 0 and roll < 0.16:
+        return xp.ExprIntersection(
+            _gen_expr(rng, labels, attributes, config, 0),
+            _gen_expr(rng, labels, attributes, config, 0),
+        )
+    path = _gen_path(rng, labels, attributes, config)
+    if rng.random() < 0.25:
+        return xp.AbsolutePath(path)
+    return xp.RelativePath(path)
+
+
+def _gen_path(rng, labels, attributes, config) -> xp.Path:
+    """A path of qualified steps; attribute steps only in trailing position."""
+    steps = rng.randint(1, max(1, config.max_steps))
+    path: xp.Path | None = None
+    for _ in range(steps):
+        step = _gen_qualified_step(rng, labels, attributes, config)
+        path = step if path is None else xp.PathCompose(path, step)
+    if attributes and rng.random() < 0.3:
+        trailing: xp.Path = _gen_attribute_step(rng, attributes)
+        if rng.random() < 0.3:
+            trailing = xp.QualifiedPath(
+                trailing,
+                _gen_qualifier(rng, labels, attributes, config, config.max_qualifier_depth),
+            )
+        path = xp.PathCompose(path, trailing)
+    return path
+
+
+def _gen_qualified_step(rng, labels, attributes, config) -> xp.Path:
+    if rng.random() < 0.08:
+        step: xp.Path = xp.PathUnion(
+            _gen_step(rng, labels), _gen_step(rng, labels)
+        )
+    else:
+        step = _gen_step(rng, labels)
+    while rng.random() < 0.35:
+        step = xp.QualifiedPath(
+            step,
+            _gen_qualifier(rng, labels, attributes, config, config.max_qualifier_depth),
+        )
+    return step
+
+
+def _gen_step(rng, labels) -> xp.Step:
+    axis = _weighted(rng, _AXES)
+    roll = rng.random()
+    if roll < 0.15:
+        label = None  # wildcard
+    elif roll < 0.22:
+        label = FOREIGN_LABEL
+    else:
+        label = rng.choice(labels)
+    return xp.Step(axis, label)
+
+
+def _gen_attribute_step(rng, attributes) -> xp.AttributeStep:
+    roll = rng.random()
+    if roll < 0.2:
+        return xp.AttributeStep(None)  # @*
+    if roll < 0.3:
+        return xp.AttributeStep(FOREIGN_ATTRIBUTE)
+    return xp.AttributeStep(rng.choice(attributes))
+
+
+def _gen_qualifier(rng, labels, attributes, config, depth: int) -> xp.Qualifier:
+    roll = rng.random()
+    if depth > 0 and roll < 0.18:
+        return xp.QualifierAnd(
+            _gen_qualifier(rng, labels, attributes, config, depth - 1),
+            _gen_qualifier(rng, labels, attributes, config, depth - 1),
+        )
+    if depth > 0 and roll < 0.32:
+        return xp.QualifierOr(
+            _gen_qualifier(rng, labels, attributes, config, depth - 1),
+            _gen_qualifier(rng, labels, attributes, config, depth - 1),
+        )
+    if depth > 0 and roll < 0.45:
+        return xp.QualifierNot(
+            _gen_qualifier(rng, labels, attributes, config, depth - 1)
+        )
+    if attributes and roll < 0.60:
+        return xp.QualifierPath(_gen_attribute_step(rng, attributes))
+    # A short path qualifier: one or two steps, occasionally absolute.
+    path: xp.Path = _gen_step(rng, labels)
+    if rng.random() < 0.3:
+        path = xp.PathCompose(path, _gen_step(rng, labels))
+    if attributes and rng.random() < 0.2:
+        path = xp.PathCompose(path, _gen_attribute_step(rng, attributes))
+    return xp.QualifierPath(path, absolute=rng.random() < 0.15)
+
+
+# ---------------------------------------------------------------------------
+# Whole cases
+# ---------------------------------------------------------------------------
+
+
+def gen_case(
+    rng: random.Random, config: GeneratorConfig = GeneratorConfig()
+) -> FuzzCase:
+    """One random decision problem: a kind, expressions, and (maybe) a DTD."""
+    kind = _weighted(
+        rng,
+        (
+            ("containment", 4),
+            ("satisfiability", 3),
+            ("emptiness", 1),
+            ("overlap", 2),
+        ),
+    )
+    assert kind in FUZZ_KINDS
+    dtd_source: str | None = None
+    root: str | None = None
+    labels: tuple[str, ...] = ELEMENT_NAMES[:3]
+    attribute_pool: tuple[str, ...] = ATTRIBUTE_NAMES[:2]
+    if rng.random() < config.typed_probability:
+        dtd_source, dtd = gen_dtd(rng, config)
+        root = dtd.root
+        labels = dtd.element_names()
+        attribute_pool = dtd.attribute_names() or attribute_pool
+    use_attributes = rng.random() < config.attribute_probability
+    attributes = attribute_pool if use_attributes else ()
+    expr_count = 2 if kind in ("containment", "overlap") else 1
+    exprs = tuple(
+        str(gen_xpath(rng, labels, attributes, config)) for _ in range(expr_count)
+    )
+    return FuzzCase(kind=kind, exprs=exprs, dtd_source=dtd_source, root=root)

@@ -1,0 +1,229 @@
+"""Greedy shrinking of fuzz cases.
+
+:func:`shrink_case` minimises a :class:`~repro.testing.corpus.FuzzCase`
+while a caller-supplied predicate keeps holding — for a disagreement that
+predicate is "the engines still disagree", for a regression seed it is "the
+verdict is unchanged and every oracle still agrees".
+
+The reduction moves mirror how the inputs were built:
+
+* drop the type constraint entirely, or delete one element declaration,
+  replace one content model by ``EMPTY``, peel occurrence operators and
+  composite content models apart, drop one attribute declaration;
+* replace an expression union/intersection by either side, drop a
+  qualifier, a step of a composition, a ``not(...)``, an absolute anchor,
+  or a branch of a qualifier connective.
+
+Every candidate is strictly smaller than its parent (measured in source
+text), so the loop terminates; the predicate budget additionally caps how
+many re-evaluations a pathological case may cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.testing.corpus import FuzzCase
+from repro.xmltypes import content as cm
+from repro.xmltypes.dtd import DTD
+from repro.xpath import ast as xp
+from repro.xpath.parser import parse_xpath
+
+#: Upper bound on predicate evaluations per shrink run.
+DEFAULT_BUDGET = 250
+
+
+def case_size(case: FuzzCase) -> int:
+    """The size a shrink must strictly decrease."""
+    return len(case.dtd_source or "") + sum(len(text) for text in case.exprs)
+
+
+def shrink_case(
+    case: FuzzCase,
+    predicate: Callable[[FuzzCase], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> FuzzCase:
+    """The smallest reachable case on which the predicate still holds.
+
+    ``predicate`` failures *and exceptions* both reject a candidate — a
+    reduction that turns the case invalid (e.g. an attribute step drifting
+    into non-trailing position) simply doesn't shrink.
+    """
+    current = case
+    calls = 0
+    improved = True
+    while improved and calls < budget:
+        improved = False
+        for candidate in _candidates(current):
+            if case_size(candidate) >= case_size(current):
+                continue
+            calls += 1
+            try:
+                keeps_failing = predicate(candidate)
+            except Exception:
+                keeps_failing = False
+            if keeps_failing:
+                current = candidate
+                improved = True
+                break
+            if calls >= budget:
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+# ---------------------------------------------------------------------------
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    if case.dtd_source is not None:
+        yield case.without_type()
+        try:
+            dtd = case.dtd()
+        except Exception:
+            dtd = None
+        if dtd is not None:
+            for source, root in _dtd_reductions(dtd):
+                yield replace(case, dtd_source=source, root=root)
+    for index, text in enumerate(case.exprs):
+        try:
+            expr = parse_xpath(text)
+        except Exception:
+            continue
+        for reduced in _expr_reductions(expr):
+            exprs = list(case.exprs)
+            exprs[index] = str(reduced)
+            yield replace(case, exprs=tuple(exprs))
+
+
+# -- DTD reductions -----------------------------------------------------------
+
+
+def dtd_source_of(dtd: DTD) -> str:
+    """Render a parsed DTD back to declaration source text."""
+    from repro.testing.generators import render_content
+
+    lines = [
+        f"<!ELEMENT {name} {render_content(declaration.content)}>"
+        for name, declaration in dtd.elements.items()
+    ]
+    for element, declarations in dtd.attlists.items():
+        for declaration in declarations:
+            default = "#REQUIRED" if declaration.required else "#IMPLIED"
+            lines.append(f"<!ATTLIST {element} {declaration.name} CDATA {default}>")
+    return "\n".join(lines)
+
+
+def _dtd_reductions(dtd: DTD) -> Iterator[tuple[str, str]]:
+    names = list(dtd.elements)
+    # Delete one element declaration (references to it then mean "empty").
+    for name in names:
+        if len(names) == 1:
+            continue
+        remaining = {n: d for n, d in dtd.elements.items() if n != name}
+        attlists = {n: a for n, a in dtd.attlists.items() if n != name}
+        root = dtd.root if dtd.root != name else next(iter(remaining))
+        reduced = DTD(elements=remaining, root=root, name=dtd.name, attlists=attlists)
+        yield dtd_source_of(reduced), root
+    # Replace one content model by EMPTY, or by a structural part of itself.
+    for name, declaration in dtd.elements.items():
+        for model in _content_reductions(declaration.content):
+            elements = dict(dtd.elements)
+            elements[name] = type(declaration)(name, model)
+            reduced = DTD(
+                elements=elements, root=dtd.root, name=dtd.name, attlists=dict(dtd.attlists)
+            )
+            yield dtd_source_of(reduced), dtd.root
+    # Drop one attribute declaration.
+    for element, declarations in dtd.attlists.items():
+        for index in range(len(declarations)):
+            attlists = dict(dtd.attlists)
+            kept = declarations[:index] + declarations[index + 1 :]
+            if kept:
+                attlists[element] = kept
+            else:
+                del attlists[element]
+            reduced = DTD(
+                elements=dict(dtd.elements), root=dtd.root, name=dtd.name, attlists=attlists
+            )
+            yield dtd_source_of(reduced), dtd.root
+
+
+def _content_reductions(model: cm.ContentModel) -> Iterator[cm.ContentModel]:
+    if not isinstance(model, cm.CEmpty):
+        yield cm.CEmpty()
+    if isinstance(model, (cm.COptional, cm.CStar, cm.CPlus)):
+        yield model.inner
+        for inner in _content_reductions(model.inner):
+            yield type(model)(inner)
+    if isinstance(model, (cm.CSeq, cm.CChoice)):
+        yield model.left
+        yield model.right
+        for left in _content_reductions(model.left):
+            yield type(model)(left, model.right)
+        for right in _content_reductions(model.right):
+            yield type(model)(model.left, right)
+
+
+# -- expression reductions ------------------------------------------------------
+
+
+def _expr_reductions(expr: xp.Expr) -> Iterator[xp.Expr]:
+    if isinstance(expr, (xp.ExprUnion, xp.ExprIntersection)):
+        yield expr.left
+        yield expr.right
+        for left in _expr_reductions(expr.left):
+            yield type(expr)(left, expr.right)
+        for right in _expr_reductions(expr.right):
+            yield type(expr)(expr.left, right)
+        return
+    if isinstance(expr, xp.AbsolutePath):
+        yield xp.RelativePath(expr.path)
+        for path in _path_reductions(expr.path):
+            yield xp.AbsolutePath(path)
+        return
+    if isinstance(expr, xp.RelativePath):
+        for path in _path_reductions(expr.path):
+            yield xp.RelativePath(path)
+
+
+def _path_reductions(path: xp.Path) -> Iterator[xp.Path]:
+    if isinstance(path, xp.PathCompose):
+        yield path.first
+        yield path.second
+        for first in _path_reductions(path.first):
+            yield xp.PathCompose(first, path.second)
+        for second in _path_reductions(path.second):
+            yield xp.PathCompose(path.first, second)
+    elif isinstance(path, xp.QualifiedPath):
+        yield path.path
+        for inner in _path_reductions(path.path):
+            yield xp.QualifiedPath(inner, path.qualifier)
+        for qualifier in _qualifier_reductions(path.qualifier):
+            yield xp.QualifiedPath(path.path, qualifier)
+    elif isinstance(path, xp.PathUnion):
+        yield path.left
+        yield path.right
+    elif isinstance(path, xp.Step) and path.label is not None:
+        yield xp.Step(path.axis, None)
+
+
+def _qualifier_reductions(qualifier: xp.Qualifier) -> Iterator[xp.Qualifier]:
+    if isinstance(qualifier, (xp.QualifierAnd, xp.QualifierOr)):
+        yield qualifier.left
+        yield qualifier.right
+        for left in _qualifier_reductions(qualifier.left):
+            yield type(qualifier)(left, qualifier.right)
+        for right in _qualifier_reductions(qualifier.right):
+            yield type(qualifier)(qualifier.left, right)
+    elif isinstance(qualifier, xp.QualifierNot):
+        yield qualifier.inner
+        for inner in _qualifier_reductions(qualifier.inner):
+            yield xp.QualifierNot(inner)
+    elif isinstance(qualifier, xp.QualifierPath):
+        if qualifier.absolute:
+            yield xp.QualifierPath(qualifier.path, absolute=False)
+        for path in _path_reductions(qualifier.path):
+            yield xp.QualifierPath(path, qualifier.absolute)

@@ -8,9 +8,20 @@ alternatives are either ``ε`` or ``σ(first-child-type, next-sibling-type)``.
 The construction hash-conses alternative sets, so equivalent continuations
 share one variable; the resulting variable counts are in the same range as the
 ones reported in Table 1 of the paper.
+
+Nullable constructs (``ε``, ``?``, ``*``) *inline* their continuation's
+alternatives.  While a recursive variable is still being defined — the loop
+variable of an enclosing ``*``/``+``, or an element's content variable — its
+alternatives are not known yet, so inlining would silently read an empty
+placeholder and drop every exit of the loop (historically, ``(b*)*`` compiled
+to a chain that could never terminate; found by differential fuzzing).  Such
+reads now produce a :class:`_Ref` marker instead, and a final resolution pass
+expands the markers transitively once every definition is complete.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.xmltypes import content as cm
 from repro.xmltypes.ast import (
@@ -22,6 +33,17 @@ from repro.xmltypes.ast import (
 from repro.xmltypes.dtd import DTD
 
 
+@dataclass(frozen=True)
+class _Ref:
+    """Build-time marker: "include the (final) alternatives of ``variable``".
+
+    Only exists between construction and :func:`_resolve_refs`; resolved
+    grammars never contain one.
+    """
+
+    variable: str
+
+
 class _Builder:
     def __init__(self, dtd: DTD):
         self.dtd = dtd
@@ -30,10 +52,24 @@ class _Builder:
         # One "content" variable per element, describing its children forest.
         self.content_variable: dict[str, str] = {}
         self.counter = 0
+        # Variables whose definition is in progress: their alternatives must
+        # not be inlined (they would read as empty), see _Ref.
+        self.pending: set[str] = set()
         # Hash-consing of alternative sets.
         self.by_alternatives: dict[tuple[Alternative, ...], str] = {
             (EPSILON,): BinaryTypeGrammar.EPSILON_VARIABLE
         }
+
+    def continuation_alternatives(self, continuation: str) -> tuple[Alternative, ...]:
+        """The alternatives of a continuation variable, safe to inline.
+
+        While the continuation is still being defined, a reference marker is
+        returned instead of its (incomplete) alternatives; the marker is
+        expanded by :func:`_resolve_refs` once building is finished.
+        """
+        if continuation in self.pending:
+            return (_Ref(continuation),)
+        return self.grammar.alternatives(continuation)
 
     def fresh(self, hint: str) -> str:
         self.counter += 1
@@ -59,6 +95,7 @@ class _Builder:
         name = f"C_{element}"
         self.content_variable[element] = name
         self.grammar.variables[name] = ()
+        self.pending.add(name)
         if element in self.dtd.elements:
             model = self.dtd.content_of(element)
         else:
@@ -69,6 +106,7 @@ class _Builder:
             model, BinaryTypeGrammar.EPSILON_VARIABLE, hint=element
         )
         self.grammar.variables[name] = alternatives
+        self.pending.discard(name)
         return name
 
     def alternatives_of(
@@ -77,7 +115,7 @@ class _Builder:
         """Alternatives of the type "a forest matching ``model`` followed by a
         forest of type ``continuation``"."""
         if isinstance(model, cm.CEmpty):
-            return self.grammar.alternatives(continuation)
+            return self.continuation_alternatives(continuation)
         if isinstance(model, cm.CSymbol):
             child_content = self.content_of(model.name)
             return (LabelAlternative(model.name, child_content, continuation),)
@@ -90,7 +128,7 @@ class _Builder:
             return _merge(left, right)
         if isinstance(model, cm.COptional):
             inner = self.alternatives_of(model.inner, continuation, hint)
-            return _merge(inner, self.grammar.alternatives(continuation))
+            return _merge(inner, self.continuation_alternatives(continuation))
         if isinstance(model, cm.CStar):
             return self._star_alternatives(model.inner, continuation, hint)
         if isinstance(model, cm.CPlus):
@@ -107,9 +145,11 @@ class _Builder:
         """A variable ``X`` with ``X = inner · X  |  continuation``."""
         name = self.fresh(hint)
         self.grammar.variables[name] = ()
+        self.pending.add(name)
         looped = self.alternatives_of(inner, name, hint)
-        alternatives = _merge(looped, self.grammar.alternatives(continuation))
+        alternatives = _merge(looped, self.continuation_alternatives(continuation))
         self.grammar.variables[name] = alternatives
+        self.pending.discard(name)
         # Register for hash-consing only after the definition is complete; a
         # recursive definition cannot be shared by key before it is known.
         self.by_alternatives.setdefault(alternatives, name)
@@ -131,6 +171,46 @@ def _merge(
     return tuple(merged)
 
 
+def _resolve_refs(grammar: BinaryTypeGrammar) -> None:
+    """Expand every :class:`_Ref` marker into the referenced alternatives.
+
+    Reference chains (and cycles through a loop variable referencing itself)
+    are followed transitively; the original alternative order is preserved
+    and duplicates are dropped.  Variables without markers — every grammar
+    the old inlining handled correctly — come out untouched.
+    """
+    resolved: dict[str, tuple[Alternative, ...]] = {}
+
+    def resolve(name: str) -> tuple[Alternative, ...]:
+        done = resolved.get(name)
+        if done is not None:
+            return done
+        raw = grammar.variables[name]
+        if not any(isinstance(alternative, _Ref) for alternative in raw):
+            resolved[name] = raw
+            return raw
+        out: list[Alternative] = []
+        visited: set[str] = set()
+
+        def expand(variable: str) -> None:
+            if variable in visited:
+                return
+            visited.add(variable)
+            for alternative in resolved.get(variable, grammar.variables[variable]):
+                if isinstance(alternative, _Ref):
+                    expand(alternative.variable)
+                elif alternative not in out:
+                    out.append(alternative)
+
+        expand(name)
+        result = tuple(out)
+        resolved[name] = result
+        return result
+
+    for name in list(grammar.variables):
+        grammar.variables[name] = resolve(name)
+
+
 def binarize_dtd(dtd: DTD, root: str | None = None) -> BinaryTypeGrammar:
     """Convert a DTD to a binary regular tree type grammar.
 
@@ -150,4 +230,5 @@ def binarize_dtd(dtd: DTD, root: str | None = None) -> BinaryTypeGrammar:
     builder.grammar.variables[start_name] = start_alternatives
     builder.grammar.start = start_name
     builder.grammar.name = dtd.name
+    _resolve_refs(builder.grammar)
     return builder.grammar

@@ -154,15 +154,17 @@ def ends_in_attribute(path: "Path") -> bool:
 # -- Qualifiers ---------------------------------------------------------------
 
 
-def _format_operand(qualifier: "Qualifier") -> str:
-    """Render an operand of ``and``, parenthesising lower-precedence ``or``.
+def _format_operand(qualifier: "Qualifier", wrap: tuple[type, ...]) -> str:
+    """Render a connective operand, parenthesising the listed node types.
 
-    ``or`` binds weaker than ``and``; printing a ``QualifierOr`` bare inside a
-    ``QualifierAnd`` would re-parse with the wrong precedence (the printer
-    must satisfy ``parse(str(q)) == q``).
+    ``or`` binds weaker than ``and`` and both parse left-associatively, so a
+    bare ``QualifierOr`` under an ``and``, or a bare right-nested operand of
+    the same connective, would re-parse with a different shape (the printer
+    must satisfy ``parse(str(q)) == q``; generator-based round-trip tests
+    exercise every nesting).
     """
     text = str(qualifier)
-    return f"({text})" if isinstance(qualifier, QualifierOr) else text
+    return f"({text})" if isinstance(qualifier, wrap) else text
 
 
 @dataclass(frozen=True)
@@ -171,7 +173,12 @@ class QualifierAnd:
     right: "Qualifier"
 
     def __str__(self) -> str:
-        return f"{_format_operand(self.left)} and {_format_operand(self.right)}"
+        # The right operand needs parentheses when it is itself an `and`:
+        # the grammar is left-associative, so `a and (b and c)` printed bare
+        # would re-parse as `(a and b) and c`.
+        left = _format_operand(self.left, (QualifierOr,))
+        right = _format_operand(self.right, (QualifierOr, QualifierAnd))
+        return f"{left} and {right}"
 
 
 @dataclass(frozen=True)
@@ -180,7 +187,8 @@ class QualifierOr:
     right: "Qualifier"
 
     def __str__(self) -> str:
-        return f"{self.left} or {self.right}"
+        right = _format_operand(self.right, (QualifierOr,))
+        return f"{self.left} or {right}"
 
 
 @dataclass(frozen=True)

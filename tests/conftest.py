@@ -41,3 +41,47 @@ def documents_with_every_mark(text: str) -> list[Tree]:
     """All markings of a document: one copy per node carrying the start mark."""
     base = parse_tree(text).unmark_all()
     return [base.mark_at(path) for path, _node in sorted(base.iter_paths())]
+
+
+#: Wildcard label of pruned witnesses whose collapsed elements could not be
+#: lifted back to concrete names (repro.xmltypes.membership.lift_wildcards).
+from repro.solver.models import FRESH_LABEL as WILDCARD_LABEL  # noqa: E402
+
+
+def assert_genuine_counterexample(result, dtd=None, exprs=()) -> Tree:
+    """Shared witness-validity invariant for satisfiable analysis outcomes.
+
+    ``result`` is an :class:`repro.analysis.problems.AnalysisResult` (or a
+    bare document).  Asserts that the witness exists and carries exactly one
+    start mark; with ``dtd`` given, additionally that the marked node's
+    subtree validates against the DTD and that
+    :func:`repro.xmltypes.membership.dtd_attribute_violations` is empty when
+    restricted to the attribute alphabet of ``exprs`` (the expressions of
+    the problem that produced the witness).  Returns the document so tests
+    can chain further assertions.
+
+    Subtrees still containing the wildcard label (a pruned model the lifter
+    could not fully concretise) skip the membership check — their attribute
+    constraints are still enforced.
+    """
+    from repro.analysis.problems import relevant_attributes
+    from repro.trees.focus import focus_at
+    from repro.xmltypes.membership import dtd_accepts, dtd_attribute_violations
+
+    document = getattr(result, "counterexample", result)
+    assert document is not None, "expected a witness document"
+    assert document.mark_count() == 1, (
+        f"witness must carry exactly one start mark: {document}"
+    )
+    if dtd is None:
+        return document
+    focus = focus_at(document, document.find_mark())
+    subtree = focus.tree.unmark_all()
+    if WILDCARD_LABEL not in subtree.labels():
+        assert dtd_accepts(dtd, subtree), (
+            f"witness subtree does not validate against {dtd.name}: {subtree}"
+        )
+    alphabet = relevant_attributes(*exprs) if exprs else ()
+    violations = dtd_attribute_violations(dtd, subtree, alphabet)
+    assert not violations, f"witness attribute violations: {violations}"
+    return document

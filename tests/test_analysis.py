@@ -16,6 +16,8 @@ from repro.xmltypes.dtd import parse_dtd
 from repro.xpath.parser import parse_xpath
 from repro.xpath.semantics import select
 
+from conftest import assert_genuine_counterexample
+
 SIMPLE_DTD = parse_dtd(
     "<!ELEMENT r (a*, b?)><!ELEMENT a (c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
     root="r",
@@ -40,14 +42,13 @@ def test_containment_positive_and_negative():
     assert check_containment("child::a", "child::*").holds
     negative = check_containment("child::*", "child::a")
     assert not negative.holds
-    assert negative.counterexample is not None
+    assert_genuine_counterexample(negative)
 
 
 def test_containment_counterexample_is_genuine():
     result = check_containment("child::c/preceding-sibling::a[child::b]", "child::c[child::b]")
     assert not result.holds
-    document = result.counterexample
-    assert document is not None and document.mark_count() == 1
+    document = assert_genuine_counterexample(result)
     bigger = select(parse_xpath("child::c/preceding-sibling::a[child::b]"), document)
     smaller = select(parse_xpath("child::c[child::b]"), document)
     assert bigger - smaller, "counterexample does not separate the two queries"
@@ -77,7 +78,8 @@ def test_overlap():
 def test_coverage():
     assert check_coverage("child::*", ["child::a", "child::*[not(self::a)]"]).holds
     result = check_coverage("child::*", ["child::a", "child::b"])
-    assert not result.holds and result.counterexample is not None
+    assert not result.holds
+    assert_genuine_counterexample(result)
 
 
 def test_type_inclusion():

@@ -30,7 +30,7 @@ from repro.trees.focus import focus_at
 from repro.xmltypes.compile import attribute_constraints
 from repro.xmltypes.dtd import IMPLIED, REQUIRED
 from repro.xmltypes.library import smil_dtd, xhtml_core_dtd, xhtml_strict_dtd
-from repro.xmltypes.membership import dtd_attribute_violations
+from conftest import assert_genuine_counterexample
 from repro.xpath import ast as xp
 from repro.xpath.parser import parse_xpath
 from repro.xpath.semantics import select
@@ -257,8 +257,7 @@ def test_satisfiability_and_emptiness_with_attributes(mini):
         "//a[@href]", rooted(mini, relevant_attributes("//a[@href]"))
     )
     assert result.holds
-    witness = result.counterexample
-    assert witness is not None
+    witness = assert_genuine_counterexample(result, mini, exprs=("//a[@href]",))
     assert 'href=""' in serialize_tree(witness)
     # The witness genuinely selects under the denotational semantics.
     assert select(parse_xpath("//a[@href]"), witness)
@@ -283,9 +282,9 @@ def test_required_attribute_containment(mini):
         "//a", "//a[@href]", type1=constrained, type2=constrained
     )
     assert not result.holds
-    counterexample = result.counterexample
-    assert counterexample is not None
-    assert not dtd_attribute_violations(mini, counterexample.unmark_all(), alphabet)
+    counterexample = assert_genuine_counterexample(
+        result, mini, exprs=("//a", "//a[@href]")
+    )
     selected_left = select(parse_xpath("//a"), counterexample)
     selected_right = select(parse_xpath("//a[@href]"), counterexample)
     assert selected_left and not (selected_left <= selected_right)

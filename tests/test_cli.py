@@ -24,6 +24,10 @@ def test_parser_accepts_every_subcommand():
     assert parser.parse_args(["serve"]).command == "serve"
     assert parser.parse_args(["schemas", "xhtml"]).name == "xhtml"
     assert parser.parse_args(["bench", "--output-dir", "/tmp"]).names == []
+    assert parser.parse_args(["bench", "--workers", "2"]).workers == 2
+    fuzz = parser.parse_args(["fuzz", "--budget", "50", "--seed", "3", "--workers", "2"])
+    assert fuzz.command == "fuzz" and fuzz.budget == 50
+    assert fuzz.seed == 3 and fuzz.workers == 2
 
 
 def test_parser_rejects_unknown_subcommand(capsys):

@@ -133,6 +133,38 @@ def test_binarize_nullability():
     assert not grammar.is_nullable("C_article")
 
 
+@pytest.mark.parametrize(
+    "spec,word",
+    [
+        ("((b)*)*", ["b"]),
+        ("((b)*)*", []),
+        ("((b)+)*", ["b"]),
+        ("((b)+)+", ["b", "b"]),
+        ("(c, (b)?)*", ["c"]),
+        ("(c, (b)?)*", ["c", "b", "c"]),
+        ("((b | (c)*))*", ["c", "b"]),
+    ],
+)
+def test_binarize_nested_nullable_constructs(spec, word):
+    """Nested stars/options must keep their loop exits.
+
+    A nullable construct inlines its continuation's alternatives; while an
+    enclosing loop variable was still being defined that inline used to read
+    an empty placeholder, so ``(b*)*`` compiled to a sibling chain that could
+    never terminate and rejected every non-empty valid document.  Found by
+    differential fuzzing (tests/corpus/fuzz-containment-0044cc20ad80.json).
+    """
+    from repro.trees.unranked import Tree
+    from repro.xmltypes.membership import dtd_accepts, grammar_accepts
+
+    dtd = parse_dtd(
+        f"<!ELEMENT a {spec}><!ELEMENT b EMPTY><!ELEMENT c EMPTY>", root="a"
+    )
+    document = Tree("a", tuple(Tree(name) for name in word))
+    assert dtd_accepts(dtd, document)
+    assert grammar_accepts(binarize_dtd(dtd), document)
+
+
 def test_grammar_reachability_and_describe():
     dtd = parse_dtd(WIKI_DTD, root="article")
     grammar = binarize_dtd(dtd).restricted_to_reachable()

@@ -79,6 +79,57 @@ def test_wrong_precedence_reading_is_a_different_ast():
     assert parse_xpath("a[(b or c) and d]") != parse_xpath("a[b or c and d]")
 
 
+#: Seeds for the generator-driven property: each drives one random
+#: expression over a small element/attribute alphabet, with attribute steps
+#: and nested qualifiers included (see repro.testing.generators).
+GENERATOR_SEEDS = range(60)
+
+
+@pytest.mark.parametrize("seed", GENERATOR_SEEDS)
+def test_generated_expressions_round_trip(seed):
+    import random
+
+    from repro.testing.generators import GeneratorConfig, gen_xpath
+
+    rng = random.Random(seed)
+    expr = gen_xpath(rng, ("a", "b", "c"), ("p", "q"), GeneratorConfig())
+    printed = str(expr)
+    assert parse_xpath(printed) == expr, printed
+    assert str(parse_xpath(printed)) == printed
+
+
+def test_generated_qualifier_nesting_round_trips():
+    # Right-nested connectives used to print flat and re-parse left-nested;
+    # the printer now parenthesises them (found by generator coverage).
+    right_nested_and = xp.RelativePath(
+        xp.QualifiedPath(
+            xp.Step(xp.Axis.CHILD, "a"),
+            xp.QualifierAnd(
+                xp.QualifierPath(xp.Step(xp.Axis.CHILD, "b")),
+                xp.QualifierAnd(
+                    xp.QualifierPath(xp.Step(xp.Axis.CHILD, "c")),
+                    xp.QualifierPath(xp.Step(xp.Axis.CHILD, "d")),
+                ),
+            ),
+        )
+    )
+    assert parse_xpath(str(right_nested_and)) == right_nested_and
+    assert str(right_nested_and) == "child::a[child::b and (child::c and child::d)]"
+    right_nested_or = xp.RelativePath(
+        xp.QualifiedPath(
+            xp.Step(xp.Axis.CHILD, "a"),
+            xp.QualifierOr(
+                xp.QualifierPath(xp.Step(xp.Axis.CHILD, "b")),
+                xp.QualifierOr(
+                    xp.QualifierPath(xp.Step(xp.Axis.CHILD, "c")),
+                    xp.QualifierPath(xp.Step(xp.Axis.CHILD, "d")),
+                ),
+            ),
+        )
+    )
+    assert parse_xpath(str(right_nested_or)) == right_nested_or
+
+
 def test_manual_ast_round_trips():
     expr = xp.RelativePath(
         xp.QualifiedPath(
