@@ -1,0 +1,46 @@
+"""BDD-backend ablation — dict-of-tuples vs packed-array arena.
+
+Runs the nested-containment scaling family once per engine registered in
+:data:`repro.bdd.backends.BACKENDS` and records what each spent: wall clock
+(min over repetitions with collector control), ternary-operation counts and
+peak node counts.  Verdicts, fixpoint iteration counts and relational-product
+counts are asserted identical inside the runner — the backends are
+observationally equivalent through the :class:`repro.bdd.protocol.BDDBackend`
+protocol, and this benchmark measures only what that equivalence costs.
+The measurement lives in :func:`repro.cli.bench.run_backend`, shared with
+``repro bench backend``.
+"""
+
+from conftest import write_bench_json, write_report
+from repro.cli.bench import BACKEND_ITE_CALLS_MAX_DEPTH3, run_backend
+
+
+def test_backend_ablation(benchmark):
+    payload = benchmark.pedantic(run_backend, rounds=1, iterations=1)
+    rows = payload["rows"]
+    report = ["BDD backend ablation: dict vs arena on the scaling rows"]
+    for row in rows:
+        columns = row["backends"]
+        cells = " | ".join(
+            f"{name}: {column['solve_seconds']:.3f}s "
+            f"ite={column['bdd_ite_calls']} peak={column['bdd_peak_node_count']}"
+            for name, column in columns.items()
+        )
+        speedup = row.get("arena_speedup")
+        report.append(
+            f"depth {row['depth']}: {cells}"
+            + (f" | arena speedup {speedup}x" if speedup is not None else "")
+        )
+    # Every committed ceiling names a registered backend that produced rows.
+    for name in BACKEND_ITE_CALLS_MAX_DEPTH3:
+        assert name in rows[0]["backends"]
+    # The arena's structural advantage is its packed node table: never more
+    # peak nodes than the dict engine on the deep rows.
+    for row in rows:
+        if row["depth"] >= 3 and {"dict", "arena"} <= set(row["backends"]):
+            assert (
+                row["backends"]["arena"]["bdd_peak_node_count"]
+                <= row["backends"]["dict"]["bdd_peak_node_count"]
+            )
+    write_report("backend_ablation", report)
+    write_bench_json("backend", payload)

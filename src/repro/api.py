@@ -405,12 +405,17 @@ class StaticAnalyzer:
         track_marks: bool = True,
         cache_dir: str | None = None,
         prune_labels: bool = True,
+        backend: str | None = None,
     ):
         self.early_quantification = early_quantification
         self.monolithic_relation = monolithic_relation
         self.interleaved_order = interleaved_order
         self.track_marks = track_marks
         self.prune_labels = prune_labels
+        #: BDD engine for every solver run (``"dict"``, ``"arena"``, or
+        #: ``None`` to follow ``REPRO_BDD_BACKEND`` / the default).  Verdicts
+        #: are backend-independent, so cache layers need no qualification.
+        self.backend = backend
         self.disk_cache = (
             None
             if cache_dir is None
@@ -572,6 +577,7 @@ class StaticAnalyzer:
             monolithic_relation=self.monolithic_relation,
             interleaved_order=self.interleaved_order,
             track_marks=self.track_marks,
+            backend=self.backend,
         )
         result = solver.solve()
         self.solver_runs += 1
@@ -800,6 +806,7 @@ class StaticAnalyzer:
             "track_marks": self.track_marks,
             "cache_dir": None if self.disk_cache is None else str(self.disk_cache.directory),
             "prune_labels": self.prune_labels,
+            "backend": self.backend,
         }
 
     def solve_many(self, queries: Iterable[Query], workers: int = 1) -> BatchReport:

@@ -12,9 +12,38 @@ equivalent pure-Python engine with the operations the solver needs:
   products,
 * variable renaming (for the primed/unprimed vectors ``~x`` and ``~y``),
 * satisfying-assignment extraction and model counting.
+
+Two interchangeable engines implement the :class:`repro.bdd.protocol.BDDBackend`
+protocol: the original dict-of-tuples :class:`BDDManager` (``"dict"``) and the
+packed-array :class:`repro.bdd.arena.ArenaBDDManager` (``"arena"``).  Client
+code constructs whichever is selected through
+:func:`repro.bdd.backends.create_manager`.
 """
 
+from repro.bdd.arena import ArenaBDDManager
+from repro.bdd.backends import (
+    BACKEND_ENV,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    available_backends,
+    create_manager,
+    resolve_backend,
+)
 from repro.bdd.manager import BDD, BDDManager
 from repro.bdd.ordering import interleaved_pairs, order_by_first_use
+from repro.bdd.protocol import BDDBackend
 
-__all__ = ["BDD", "BDDManager", "interleaved_pairs", "order_by_first_use"]
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "BDD",
+    "BDDBackend",
+    "BDDManager",
+    "ArenaBDDManager",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "create_manager",
+    "interleaved_pairs",
+    "order_by_first_use",
+    "resolve_backend",
+]

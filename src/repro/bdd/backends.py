@@ -1,0 +1,55 @@
+"""Backend registry: name → BDD engine class, plus environment resolution.
+
+Every engine registered here must satisfy :class:`repro.bdd.protocol.BDDBackend`
+and pass ``tests/test_backend_conformance.py`` (the suite parametrises over
+this registry, so registering a backend automatically enrols it).
+
+Selection precedence, highest first:
+
+1. an explicit ``backend=`` argument (``StaticAnalyzer(backend="arena")``,
+   ``repro analyze --backend arena``);
+2. the ``REPRO_BDD_BACKEND`` environment variable (how CI runs the whole
+   suite under each backend);
+3. the default, :data:`DEFAULT_BACKEND`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.bdd.arena import ArenaBDDManager
+from repro.bdd.manager import BDDManager
+from repro.bdd.protocol import BDDBackend
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV = "REPRO_BDD_BACKEND"
+
+#: Registry of available engines.  Adding a backend: implement the protocol,
+#: register it here, and the conformance suite + fuzzer cover it.
+BACKENDS: dict[str, type] = {
+    BDDManager.backend_name: BDDManager,
+    ArenaBDDManager.backend_name: ArenaBDDManager,
+}
+
+DEFAULT_BACKEND = BDDManager.backend_name
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(BACKENDS)
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve an explicit choice / ``REPRO_BDD_BACKEND`` / default to a name."""
+    chosen = backend or os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    if chosen not in BACKENDS:
+        raise ValueError(
+            f"unknown BDD backend {chosen!r}; available: {', '.join(BACKENDS)}"
+        )
+    return chosen
+
+
+def create_manager(variables: Sequence[str] = (), backend: str | None = None) -> BDDBackend:
+    """Instantiate the chosen (or environment-selected, or default) engine."""
+    return BACKENDS[resolve_backend(backend)](variables)

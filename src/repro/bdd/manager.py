@@ -70,6 +70,8 @@ class BDDStatistics:
 class BDDManager:
     """Owner of the node table and operation caches for one variable order."""
 
+    backend_name = "dict"
+
     FALSE = 0
     TRUE = 1
 
@@ -896,11 +898,13 @@ class BDD:
 
     @property
     def is_false(self) -> bool:
-        return self.node == BDDManager.FALSE
+        # Compare against the owning manager's constant: terminal ids are
+        # backend-specific (the arena backend's complement edges reverse them).
+        return self.node == self.manager.FALSE
 
     @property
     def is_true(self) -> bool:
-        return self.node == BDDManager.TRUE
+        return self.node == self.manager.TRUE
 
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         return self.manager.evaluate(self.node, assignment)

@@ -58,7 +58,9 @@ def run(args) -> int:
     # Convert what converts; wire-format failures become error entries in the
     # report (mirroring the analyzer's structured error outcomes) so one bad
     # batch line never hides the verdicts of the others.
-    analyzer = StaticAnalyzer(cache_dir=args.cache_dir)
+    analyzer = StaticAnalyzer(
+        cache_dir=args.cache_dir, backend=getattr(args, "backend", None)
+    )
     dtd_cache: wire.DTDCache = {}
     queries, conversion_errors = [], {}
     for position, payload in enumerate(payloads):

@@ -2,9 +2,10 @@
 
 Runs :func:`repro.testing.fuzz.run_fuzz`: every trial generates a random
 decision problem, answers it with the symbolic engine under pruning on/off ×
-frontier deltas on/off, and cross-checks the verdicts against the bounded
-explicit oracles (see ``docs/TESTING.md``).  The JSON campaign report is
-printed to stdout.
+frontier deltas on/off × one run per selected BDD backend (``--backend``,
+accepting a name or ``all``), and cross-checks the verdicts against the
+bounded explicit oracles (see ``docs/TESTING.md``).  The JSON campaign
+report is printed to stdout.
 
 Exit codes follow the ``repro analyze`` contract:
 
@@ -89,6 +90,12 @@ def add_arguments(parser) -> None:
         help="additionally write N shrunk agreeing cases as regression seeds",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="BDD engine axis of the ablation matrix: a backend name, or "
+        "'all' to solve every cell once per registered engine and demand "
+        "identical verdicts (default: $REPRO_BDD_BACKEND if set, else dict)",
+    )
+    parser.add_argument(
         "--compact", action="store_true", help="single-line JSON output"
     )
 
@@ -99,9 +106,23 @@ def _corpus_dir(args) -> str | None:
     return DEFAULT_CORPUS_DIR if Path(DEFAULT_CORPUS_DIR).is_dir() else None
 
 
+def _backends(args) -> tuple[str, ...]:
+    from repro.bdd.backends import available_backends, resolve_backend
+
+    choice = getattr(args, "backend", None)
+    if choice == "all":
+        return available_backends()
+    return (resolve_backend(choice),)
+
+
 def run(args) -> int:
     if args.budget < 1:
         print("repro fuzz: --budget must be at least 1", file=sys.stderr)
+        return EXIT_INTERNAL
+    try:
+        backends = _backends(args)
+    except ValueError as exc:
+        print(f"repro fuzz: {exc}", file=sys.stderr)
         return EXIT_INTERNAL
     config = FuzzConfig(
         budget=args.budget,
@@ -118,6 +139,7 @@ def run(args) -> int:
         generator=GeneratorConfig(),
         corpus_dir=_corpus_dir(args),
         sample_corpus=args.sample_corpus,
+        backends=backends,
     )
     report = run_fuzz(config)
     payload = report.as_dict()

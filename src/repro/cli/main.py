@@ -29,6 +29,10 @@ import sys
 #: Environment variable consulted when ``--cache-dir`` is not given.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Registered BDD engines, kept in sync with ``repro.bdd.backends.BACKENDS``
+#: (hard-coded here so ``repro ... --help`` never imports the solver stack).
+BACKEND_CHOICES = ("dict", "arena")
+
 
 def _add_cache_dir_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
@@ -37,6 +41,16 @@ def _add_cache_dir_option(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="persistent solve-cache directory (default: $REPRO_CACHE_DIR if set, "
         "else no persistence)",
+    )
+
+
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help="BDD engine for solver runs (default: $REPRO_BDD_BACKEND if set, "
+        "else dict); both engines produce identical verdicts",
     )
 
 
@@ -83,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--compact", action="store_true", help="single-line JSON output"
     )
     _add_cache_dir_option(analyze)
+    _add_backend_option(analyze)
 
     serve = subparsers.add_parser(
         "serve",
@@ -99,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "order; default: 1, in-process)",
     )
     _add_cache_dir_option(serve)
+    _add_backend_option(serve)
 
     schemas = subparsers.add_parser(
         "schemas",
@@ -117,8 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
         "names",
         nargs="*",
         metavar="NAME",
-        help="benchmarks to run: api-batch, cli-cache, scaling, frontier "
-        "(default: all)",
+        help="benchmarks to run: api-batch, cli-cache, scaling, frontier, "
+        "backend (default: all)",
     )
     bench.add_argument(
         "--quick",

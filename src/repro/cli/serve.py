@@ -104,13 +104,16 @@ def serve(
     cache_dir: str | None = None,
     analyzer: StaticAnalyzer | None = None,
     workers: int = 1,
+    backend: str | None = None,
 ) -> int:
     """Run the request/response loop until end-of-input; returns exit code 0.
 
     With ``workers > 1`` queries are dispatched to a process pool while the
     loop keeps reading; responses are written strictly in request order.
+    ``backend`` selects the BDD engine for every solver run (see
+    :mod:`repro.bdd.backends`).
     """
-    analyzer = analyzer or StaticAnalyzer(cache_dir=cache_dir)
+    analyzer = analyzer or StaticAnalyzer(cache_dir=cache_dir, backend=backend)
     if workers > 1:
         return _serve_parallel(input_stream, output_stream, analyzer, workers)
     dtd_cache: wire.DTDCache = {}
@@ -248,4 +251,5 @@ def run(args) -> int:
         sys.stdout,
         cache_dir=args.cache_dir,
         workers=getattr(args, "workers", 1) or 1,
+        backend=getattr(args, "backend", None),
     )

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.backends import create_manager
+from repro.bdd.manager import BDD
 from repro.bdd.ordering import cone_of_influence, interleaved_pairs
+from repro.bdd.protocol import BDDBackend
 from repro.logic import syntax as sx
 from repro.logic.closure import Lean
 from repro.trees.focus import FORWARD_MODALITIES, MODALITIES
@@ -30,7 +32,7 @@ class LeanEncoding:
     breadth-first traversal of the formula (Section 7.4).
     """
 
-    def __init__(self, lean: Lean, interleaved: bool = True):
+    def __init__(self, lean: Lean, interleaved: bool = True, backend: str | None = None):
         self.lean = lean
         self.x_names = [f"x{i}" for i in range(len(lean))]
         self.y_names = [f"y{i}" for i in range(len(lean))]
@@ -41,7 +43,7 @@ class LeanEncoding:
                 order.append(y_name)
         else:
             order = self.x_names + self.y_names
-        self.manager = BDDManager(order)
+        self.manager: BDDBackend = create_manager(order, backend=backend)
         self._status_cache: dict[tuple[sx.Formula, bool], BDD] = {}
         self._x_to_y = dict(zip(self.x_names, self.y_names))
         self._y_to_x = dict(zip(self.y_names, self.x_names))
@@ -290,7 +292,10 @@ class TransitionRelation:
             index: step.primed_support for index, step in enumerate(self._schedule)
         }
         self._components = self._build_components()
-        self._product_cache: dict[int, BDD] = {}
+        # Keyed by (backend name, target node id): node ids are only unique
+        # *within* an engine, so a bare id could alias a stale entry after a
+        # backend switch re-created the encoding in the same process.
+        self._product_cache: dict[tuple[str, int], BDD] = {}
         # chain name -> product of the chain's last target (incremental base).
         self._chains: dict[str, BDD] = {}
         self.product_calls = 0
@@ -328,9 +333,9 @@ class TransitionRelation:
         if self._monolithic_relation is not None:
             self._monolithic_relation = wrap(self._monolithic_relation)
         self._product_cache = {
-            remap[key]: wrap(product)
-            for key, product in self._product_cache.items()
-            if key in remap
+            (backend, remap[node]): wrap(product)
+            for (backend, node), product in self._product_cache.items()
+            if node in remap
         }
         self._chains = {
             chain: wrap(product) for chain, product in self._chains.items()
@@ -516,14 +521,22 @@ class TransitionRelation:
         When both are given and a previous product exists, only the delta is
         pushed through the partitions (see the class docstring).
         """
+        manager = self.encoding.manager
+        if target_x.manager is not manager:
+            raise ValueError(
+                "witness target was built on a different BDD manager "
+                f"(relation uses the {manager.backend_name!r} backend); node "
+                "ids are not portable across engines"
+            )
         if target_x.is_false:
             # ∃y (⊥ ∧ ∆ₐ) — nothing to compute, every partition is skipped.
             self.partitions_skipped += len(self.partitions)
-            product = self.encoding.manager.false()
+            product = manager.false()
             if chain is not None:
                 self._chains[chain] = product
             return product
-        cached = self._product_cache.get(target_x.node)
+        cache_key = (manager.backend_name, target_x.node)
+        cached = self._product_cache.get(cache_key)
         if cached is not None:
             self.product_cache_hits += 1
             if chain is not None:
@@ -536,7 +549,7 @@ class TransitionRelation:
             product = base_product | self._product(self._frontier(delta))
         else:
             product = self._product(self._frontier(target_x))
-        self._product_cache[target_x.node] = product
+        self._product_cache[cache_key] = product
         if chain is not None:
             self._chains[chain] = product
         return product

@@ -163,6 +163,10 @@ class SymbolicSolver:
       participant) and remapping in place.  ``None`` disables collection;
       useful for long-running solves whose intermediate results dominate the
       node table.
+    * ``backend`` — which registered BDD engine to solve on (``"dict"``,
+      ``"arena"``, ...); ``None`` defers to ``REPRO_BDD_BACKEND`` and then
+      the default.  The verdict is backend-independent (enforced by the
+      cross-backend conformance suite and the fuzzer's backend axis).
     """
 
     formula: sx.Formula
@@ -176,6 +180,7 @@ class SymbolicSolver:
     collect_every: int | None = None
     max_iterations: int = 10_000
     keep_snapshots: bool = True
+    backend: str | None = None
 
     #: A delta product is attempted only when the delta's BDD is at least
     #: this many times smaller than the set it grew (full products over the
@@ -218,7 +223,9 @@ class SymbolicSolver:
         statistics = SolverStatistics(lean_size=len(self._lean))
         start_translation = time.perf_counter()
 
-        encoding = LeanEncoding(self._lean, interleaved=self.interleaved_order)
+        encoding = LeanEncoding(
+            self._lean, interleaved=self.interleaved_order, backend=self.backend
+        )
         relations = {
             program: TransitionRelation(
                 encoding,

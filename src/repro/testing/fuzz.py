@@ -1,12 +1,14 @@
 """The differential fuzzing campaign driver behind ``repro fuzz``.
 
 Every trial generates one decision problem (:func:`repro.testing.generators.
-gen_case`) and answers it four ways with the symbolic engine — cone-of-
-influence label pruning on/off × frontier delta products on/off — then
+gen_case`) and answers it with the symbolic engine under the full ablation
+matrix — cone-of-influence label pruning on/off × frontier delta products
+on/off × one run per configured BDD backend (``FuzzConfig.backends``) — then
 cross-examines the verdict with the three oracles of
 :mod:`repro.testing.oracle`:
 
-* the four symbolic verdicts must be identical (ablation agreement);
+* all symbolic verdicts must be identical (ablation agreement — including
+  across backends, which must be observationally equivalent);
 * a witness found by bounded focused-tree enumeration refutes an
   "unsatisfiable" verdict;
 * the sampled Proposition 5.1 checks must find no model/semantics mismatch;
@@ -45,13 +47,18 @@ from repro.xmltypes.dtd import DTD
 from repro.xpath.compile import compile_xpath
 from repro.xpath.parser import parse_xpath_cached
 
-#: The ablation matrix every trial runs: (prune_labels, frontier).
+#: The ablation matrix every trial runs: (prune_labels, frontier).  The
+#: third axis — the BDD backend — comes from ``FuzzConfig.backends``.
 ABLATION_MATRIX = (
     (False, True),
     (False, False),
     (True, True),
     (True, False),
 )
+
+#: Default backend axis of the ablation matrix (the engine the rest of the
+#: suite exercises by default; pass several names to cross-check engines).
+DEFAULT_FUZZ_BACKENDS = ("dict",)
 
 
 @dataclass(frozen=True)
@@ -68,6 +75,10 @@ class FuzzConfig:
     #: Additionally write this many shrunk *agreeing* cases as regression
     #: seeds (spread over kinds and verdicts).
     sample_corpus: int = 0
+    #: BDD engines forming the third ablation axis; every (pruning,
+    #: frontier) cell is solved once per backend and all verdicts must
+    #: agree.  The first entry is the reference engine.
+    backends: tuple[str, ...] = DEFAULT_FUZZ_BACKENDS
 
     def trial_seeds(self) -> list[int]:
         """The per-trial generator seeds; independent of ``workers``."""
@@ -83,7 +94,8 @@ class TrialOutcome:
     case: FuzzCase
     satisfiable: bool | None = None
     holds: bool | None = None
-    #: Verdicts of the 2×2 (pruning, frontier) ablation matrix.
+    #: Verdicts of the (pruning, frontier, backend) ablation matrix, keyed
+    #: ``"prune=P,frontier=F,backend=B"``.
     ablation: dict = field(default_factory=dict)
     disagreements: list[dict] = field(default_factory=list)
     #: Oracle engagement counters for the campaign report.
@@ -168,9 +180,18 @@ def case_formula(case: FuzzCase, dtd: DTD | None, pruned: bool) -> sx.Formula:
 
 
 def evaluate_case(
-    case: FuzzCase, bounds: Bounds = Bounds(), index: int = 0
+    case: FuzzCase,
+    bounds: Bounds = Bounds(),
+    index: int = 0,
+    backends: tuple[str, ...] = DEFAULT_FUZZ_BACKENDS,
 ) -> TrialOutcome:
-    """Run one case through the ablation matrix and every oracle."""
+    """Run one case through the ablation matrix and every oracle.
+
+    ``backends`` is the BDD-engine axis: every (pruning, frontier) cell is
+    solved once per listed engine, and a verdict split across engines is a
+    disagreement like any other.  ``backends[0]`` is the reference whose
+    witness feeds the replay oracle.
+    """
     started = time.perf_counter()
     outcome = TrialOutcome(index=index, case=case)
     dtd = case.dtd()
@@ -186,31 +207,35 @@ def evaluate_case(
         outcome.seconds = time.perf_counter() - started
         return outcome
 
-    # Symbolic verdicts: pruning on/off x frontier deltas on/off.  Formulas
-    # are hash-consed, so when pruning is a no-op (untyped case, or every
-    # element name already tested) both rows solve the *same* formula — one
-    # solver run answers both.
+    # Symbolic verdicts: pruning on/off x frontier deltas on/off x one run
+    # per BDD backend.  Formulas are hash-consed, so when pruning is a no-op
+    # (untyped case, or every element name already tested) both pruning rows
+    # solve the *same* formula — one solver run per (frontier, backend)
+    # answers both.
     results = {}
     solved: dict[tuple, object] = {}
     for pruned, frontier in ABLATION_MATRIX:
-        key = (formulas[pruned], frontier)
-        if key not in solved:
-            solver = SymbolicSolver(formulas[pruned], frontier=frontier)
-            solved[key] = solver.solve()
-        results[(pruned, frontier)] = solved[key]
+        for backend in backends:
+            key = (formulas[pruned], frontier, backend)
+            if key not in solved:
+                solver = SymbolicSolver(
+                    formulas[pruned], frontier=frontier, backend=backend
+                )
+                solved[key] = solver.solve()
+            results[(pruned, frontier, backend)] = solved[key]
     outcome.ablation = {
-        f"prune={pruned},frontier={frontier}": result.satisfiable
-        for (pruned, frontier), result in results.items()
+        f"prune={pruned},frontier={frontier},backend={backend}": result.satisfiable
+        for (pruned, frontier, backend), result in results.items()
     }
     verdicts = {result.satisfiable for result in results.values()}
-    reference = results[(False, True)]
+    reference = results[(False, True, backends[0])]
     outcome.satisfiable = reference.satisfiable
     outcome.holds = case.holds(reference.satisfiable)
     if len(verdicts) > 1:
         outcome.disagreements.append(
             {
                 "oracle": "ablation",
-                "detail": "pruning/frontier switches changed the verdict",
+                "detail": "pruning/frontier/backend switches changed the verdict",
                 "verdicts": dict(outcome.ablation),
             }
         )
@@ -314,9 +339,11 @@ class FuzzReport:
             },
             "ablation": {
                 "matrix": [
-                    {"prune_labels": pruned, "frontier": frontier}
+                    {"prune_labels": pruned, "frontier": frontier, "backend": backend}
                     for pruned, frontier in ABLATION_MATRIX
+                    for backend in self.config.backends
                 ],
+                "backends": list(self.config.backends),
                 "identical_verdicts": not any(
                     d["oracle"] == "ablation" for d in self.disagreements
                 ),
@@ -348,7 +375,7 @@ def _run_trial(index: int, trial_seed: int, config: FuzzConfig) -> TrialOutcome:
     rng = random.Random(trial_seed)
     case = gen_case(rng, config.generator)
     try:
-        return evaluate_case(case, config.bounds, index=index)
+        return evaluate_case(case, config.bounds, index=index, backends=config.backends)
     except Exception as exc:  # noqa: BLE001 - reported, never swallowed
         outcome = TrialOutcome(index=index, case=case)
         outcome.error = f"{type(exc).__name__}: {exc}"
@@ -396,9 +423,9 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     return report
 
 
-def _still_disagrees(bounds: Bounds):
+def _still_disagrees(bounds: Bounds, backends: tuple[str, ...]):
     def predicate(candidate: FuzzCase) -> bool:
-        return bool(evaluate_case(candidate, bounds).disagreements)
+        return bool(evaluate_case(candidate, bounds, backends=backends).disagreements)
 
     return predicate
 
@@ -408,17 +435,23 @@ def _write_disagreements(report: FuzzReport, config: FuzzConfig) -> None:
     for trial in report.trials:
         if not trial.disagreements:
             continue
-        shrunk = shrink_case(trial.case, _still_disagrees(config.bounds))
+        shrunk = shrink_case(
+            trial.case, _still_disagrees(config.bounds, config.backends)
+        )
+        disagreement = dict(trial.disagreements[0])
+        disagreement.setdefault("backends", list(config.backends))
         path = write_corpus_case(
             config.corpus_dir,
             shrunk,
             origin=f"repro fuzz --seed {config.seed} (trial {trial.index})",
-            disagreement=trial.disagreements[0],
+            disagreement=disagreement,
         )
         _record_corpus_file(report, path)
 
 
-def _verdict_preserved(reference: TrialOutcome, bounds: Bounds):
+def _verdict_preserved(
+    reference: TrialOutcome, bounds: Bounds, backends: tuple[str, ...]
+):
     """Shrink predicate for regression seeds: same verdict, same shape.
 
     Typedness is preserved (a typed case must not shrink into an untyped
@@ -431,7 +464,7 @@ def _verdict_preserved(reference: TrialOutcome, bounds: Bounds):
             return False
         if _mentions_attributes(reference.case) and not _mentions_attributes(candidate):
             return False
-        outcome = evaluate_case(candidate, bounds)
+        outcome = evaluate_case(candidate, bounds, backends=backends)
         return (
             not outcome.disagreements
             and outcome.error is None
@@ -485,9 +518,11 @@ def _write_regression_samples(report: FuzzReport, config: FuzzConfig) -> None:
         samples.append(candidate)
     for trial in samples:
         shrunk = shrink_case(
-            trial.case, _verdict_preserved(trial, config.bounds), budget=80
+            trial.case,
+            _verdict_preserved(trial, config.bounds, config.backends),
+            budget=80,
         )
-        final = evaluate_case(shrunk, config.bounds)
+        final = evaluate_case(shrunk, config.bounds, backends=config.backends)
         path = write_corpus_case(
             config.corpus_dir,
             shrunk,
@@ -495,6 +530,7 @@ def _write_regression_samples(report: FuzzReport, config: FuzzConfig) -> None:
             expected={
                 "satisfiable": final.satisfiable,
                 "holds": final.holds,
+                "backends": list(config.backends),
             },
         )
         _record_corpus_file(report, path)

@@ -308,6 +308,41 @@ def test_evaluate_case_agrees_on_known_problems():
         assert len(outcome.ablation) == 4
 
 
+def test_evaluate_case_backend_axis_multiplies_the_matrix():
+    from repro.bdd.backends import available_backends
+
+    backends = available_backends()
+    assert set(backends) >= {"dict", "arena"}
+    case = FuzzCase(kind="containment", exprs=("child::a[b]", "child::a"))
+    outcome = evaluate_case(case, Bounds(max_documents=150), backends=backends)
+    assert outcome.error is None
+    assert not outcome.disagreements, outcome.disagreements
+    assert len(outcome.ablation) == 4 * len(backends)
+    assert outcome.holds is True
+    assert set(outcome.ablation.values()) == {False}
+    for name in backends:
+        cells = [key for key in outcome.ablation if key.endswith(f"backend={name}")]
+        assert len(cells) == 4, outcome.ablation
+
+
+def test_run_fuzz_records_backends_in_report_and_seeds(tmp_path):
+    config = FuzzConfig(
+        budget=2,
+        seed=5,
+        bounds=Bounds(max_documents=100),
+        corpus_dir=str(tmp_path),
+        sample_corpus=1,
+        backends=("dict", "arena"),
+    )
+    report = run_fuzz(config)
+    assert not report.disagreements and not report.errors
+    payload = report.as_dict()
+    assert payload["ablation"]["backends"] == ["dict", "arena"]
+    assert all("backend" in cell for cell in payload["ablation"]["matrix"])
+    (entry,) = load_corpus(tmp_path)
+    assert entry.expected["backends"] == ["dict", "arena"]
+
+
 def test_run_fuzz_small_campaign_is_clean_and_deterministic():
     config = FuzzConfig(budget=4, seed=11, bounds=Bounds(max_documents=120))
     first = run_fuzz(config)
