@@ -1,0 +1,21 @@
+<?xml version="1.0" encoding="utf-8"?>
+<!-- The clean control stylesheet: `repro audit examples/audit_clean.xsl
+     (dash)(dash)schema wikipedia` must report zero findings.  The catch-all
+     match="*" rule covers every element syntactically, so the coverage rule
+     plans no solver queries at all. -->
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+
+  <xsl:template match="/">
+    <xsl:apply-templates select="article"/>
+  </xsl:template>
+
+  <xsl:template match="*">
+    <xsl:apply-templates select="*"/>
+  </xsl:template>
+
+  <xsl:template match="meta" priority="1">
+    <xsl:value-of select="title"/>
+    <xsl:if test="history">has history</xsl:if>
+  </xsl:template>
+
+</xsl:stylesheet>

@@ -1,0 +1,11 @@
+<?xml version="1.0" encoding="utf-8"?>
+<!-- Imported by examples/audit_stylesheet.xsl.  Its head/title rule is
+     shadowed: the importing stylesheet declares the same match pattern at
+     higher import precedence (XSLT 1.0 section 2.6.2). -->
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+
+  <xsl:template match="head/title">
+    <imported-title/>
+  </xsl:template>
+
+</xsl:stylesheet>

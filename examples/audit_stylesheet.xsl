@@ -1,0 +1,67 @@
+<?xml version="1.0" encoding="utf-8"?>
+<!-- A deliberately flawed XHTML stylesheet: the seeded findings below are
+     what `repro audit examples/audit_stylesheet.xsl (dash)(dash)schema xhtml-strict`
+     must report (see examples/xslt_audit.py and tests/test_xslt_audit.py).
+
+     Seeded findings:
+       * dead template        - match="body/title" (title only occurs in head)
+       * shadowed template    - match="tbody/tr" (every tbody/tr is a tr, and
+                                the match="tr" rule has explicit priority 2);
+                                also the imported head/title rule (shadowed by
+                                this file's identical rule at higher import
+                                precedence)
+       * unreachable xsl:when - test="h1/p" (h1 holds inline content only)
+       * coverage gap         - li is matched only as ul/li, but li also
+                                occurs inside ol (semantic gap with witness);
+                                plus the aggregated syntactic gap for the
+                                elements no template could match
+     The match="table/caption" rule is a covered negative case: caption
+     occurs only inside table, so its coverage query holds and no finding
+     is emitted for it. -->
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+
+  <xsl:import href="audit_imported.xsl"/>
+
+  <xsl:template match="/">
+    <xsl:apply-templates select="html"/>
+  </xsl:template>
+
+  <xsl:template match="html">
+    <xsl:apply-templates select="head/title"/>
+    <xsl:apply-templates select="body"/>
+  </xsl:template>
+
+  <xsl:template match="head/title">
+    <xsl:value-of select="text()"/>
+  </xsl:template>
+
+  <xsl:template match="body">
+    <xsl:choose>
+      <xsl:when test="h1/p">block inside a heading: can never happen</xsl:when>
+      <xsl:otherwise>
+        <xsl:apply-templates select=".//ul | .//table"/>
+      </xsl:otherwise>
+    </xsl:choose>
+  </xsl:template>
+
+  <xsl:template match="ul/li">
+    <item/>
+  </xsl:template>
+
+  <xsl:template match="table/caption">
+    <caption/>
+  </xsl:template>
+
+  <xsl:template match="tbody/tr">
+    <row/>
+  </xsl:template>
+
+  <xsl:template match="tr" priority="2">
+    <any-row/>
+  </xsl:template>
+
+  <xsl:template match="body/title">
+    <never/>
+  </xsl:template>
+
+</xsl:stylesheet>

@@ -46,8 +46,54 @@ from repro.xpath import ast as xp
 from repro.xpath.compile import compile_xpath
 from repro.xpath.parser import parse_xpath_cached
 
-TypeLike = "DTD | BinaryTypeGrammar | sx.Formula | None"
+TypeLike = "DTD | BinaryTypeGrammar | sx.Formula | Rooted | None"
 ExprLike = "xp.Expr | str"
+
+
+@dataclass(frozen=True)
+class Rooted:
+    """A whole-document reading of a type constraint.
+
+    The type translation of Section 5.2 leaves the context of the typed node
+    unconstrained, so absolute paths in a query may anchor anywhere.
+    ``Rooted(T)`` instead places the marked context node *above* the typed
+    root element, as a virtual document node: it has no parent, no siblings,
+    and exactly one child — the root element of a document of type ``T``.
+    Absolute expressions then read as paths from the document node
+    (``/html`` is the root element, ``//p`` is every ``p`` in the document,
+    ``/self::*`` is the document node itself), matching the data model XSLT
+    patterns are defined over.
+
+    ``xml_type`` may be anything the analysis accepts except a raw Lµ formula
+    or another ``Rooted`` (wrap the base type, not a hand-built formula — the
+    wrapper must know how the inner translation is produced to place it under
+    the document node).
+    """
+
+    xml_type: "DTD | BinaryTypeGrammar | str | None"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.xml_type, (Rooted, sx.Formula)):
+            raise TypeError(
+                f"Rooted wraps a base type constraint, not {type(self.xml_type).__name__}"
+            )
+
+
+def document_formula(inner: sx.Formula) -> sx.Formula:
+    """The Lµ formula of :class:`Rooted` given the inner type's translation.
+
+    The marked node is the document node: a unique top-level node (no parent,
+    no siblings — only a first child with no previous sibling can satisfy
+    ``¬⟨-1⟩⊤ ∧ ¬⟨-2⟩⊤``) whose single child satisfies the inner constraint.
+    """
+    return sx.big_and(
+        (
+            sx.no_dia(-1),
+            sx.no_dia(-2),
+            sx.no_dia(2),
+            sx.dia(1, sx.mk_and(inner, sx.no_dia(2))),
+        )
+    )
 
 
 def _type_formula(
@@ -73,6 +119,15 @@ def _type_formula(
     """
     if xml_type is None:
         return sx.TRUE
+    if isinstance(xml_type, Rooted):
+        return document_formula(
+            _type_formula(
+                xml_type.xml_type,
+                constrain_siblings=True,
+                attributes=attributes,
+                labels=labels,
+            )
+        )
     if isinstance(xml_type, sx.Formula):
         return xml_type
     if isinstance(xml_type, DTD):
@@ -155,6 +210,11 @@ def label_projection(exprs, types, type_key=id) -> tuple[str, ...] | None:
     distinct: set[object] = set()
     formula_labels: set[str] = set()
     for xml_type in types:
+        if isinstance(xml_type, Rooted):
+            # The document-node wrapper is the same label homomorphism as its
+            # inner type; mixing Rooted(T) and T in one problem is still one
+            # distinct schema.
+            xml_type = xml_type.xml_type
         if xml_type is None:
             continue
         if isinstance(xml_type, sx.Formula):
@@ -227,6 +287,12 @@ def rooted(xml_type, attributes: tuple[str, ...] = ()) -> sx.Formula:
     the marked context node is the document root itself.  ``attributes`` is
     the attribute alphabet to project DTD attribute constraints onto (use
     :func:`relevant_attributes` of the queries the type will face).
+
+    Note the marked node here is the *root element*: an absolute query like
+    ``/html`` (a child step from the context node) then looks for ``html``
+    *below* the root element and fails.  For the XPath/XSLT reading where
+    absolute paths start at a document node above the root element, use the
+    :class:`Rooted` wrapper instead.
     """
     return sx.big_and(
         (
@@ -316,7 +382,10 @@ class Analyzer:
         document = result.model_document()
         if document is None or labels is None:
             return document
-        dtd = next((t for t in types if isinstance(t, DTD)), None)
+        unwrapped = (
+            t.xml_type if isinstance(t, Rooted) else t for t in types
+        )
+        dtd = next((t for t in unwrapped if isinstance(t, DTD)), None)
         if dtd is None:
             return document
         lifted = lift_wildcards(dtd, document, exclude=labels)

@@ -61,8 +61,11 @@ attribute names the query mentions::
 (The queries are relative to the marked, typed node: a bare DTD constraint
 deliberately leaves the context of that node unconstrained — Section 5.2 —
 so absolute ``//`` queries could select nodes outside the typed subtree.
-Anchor the type with :func:`repro.analysis.problems.rooted` for
-whole-document readings.)
+For whole-document readings wrap the type in
+:class:`repro.analysis.problems.Rooted` — ``Query.satisfiability("/html/head",
+Rooted("xhtml"))`` — which anchors the context node at a virtual document
+node above the typed root element, the data model XSLT patterns use; on the
+CLI wire the same wrapper is spelled ``"rooted:xhtml"``.)
 """
 
 from __future__ import annotations
@@ -73,6 +76,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.analysis.problems import (
+    Rooted,
+    document_formula,
     label_projection,
     relevant_attributes,
     relevant_labels,
@@ -216,6 +221,9 @@ class Query:
 def _describe_type(xml_type: object) -> str | None:
     if xml_type is None:
         return None
+    if isinstance(xml_type, Rooted):
+        inner = _describe_type(xml_type.xml_type)
+        return f"rooted:{inner if inner is not None else 'any'}"
     if isinstance(xml_type, str):
         return xml_type
     if isinstance(xml_type, DTD):
@@ -363,9 +371,16 @@ def _parallel_safe(query: Query) -> bool:
     Raw-formula type constraints are hash-consed (equality is identity), so
     pickling them across a process boundary would break their semantics;
     such queries are solved in the parent instead.  Everything else — names,
-    ``None``, DTDs, grammars — round-trips through pickle safely.
+    ``None``, DTDs, grammars, and :class:`Rooted` wrappers thereof —
+    round-trips through pickle safely.
     """
-    return all(not isinstance(xml_type, sx.Formula) for xml_type in query.types)
+    return all(
+        not isinstance(
+            xml_type.xml_type if isinstance(xml_type, Rooted) else xml_type,
+            sx.Formula,
+        )
+        for xml_type in query.types
+    )
 
 
 #: Input-shaped failures that :meth:`StaticAnalyzer.solve` converts into
@@ -439,11 +454,15 @@ class StaticAnalyzer:
     # -- caching layers ----------------------------------------------------------
 
     def _resolve_type(self, xml_type: object) -> object:
+        if isinstance(xml_type, Rooted):
+            return Rooted(self._resolve_type(xml_type.xml_type))
         return builtin_dtd(xml_type) if isinstance(xml_type, str) else xml_type
 
     def _type_key(self, xml_type: object) -> object:
         if xml_type is None:
             return None
+        if isinstance(xml_type, Rooted):
+            return ("rooted", self._type_key(xml_type.xml_type))
         if isinstance(xml_type, str):
             return ("builtin", xml_type)
         if isinstance(xml_type, sx.Formula):
@@ -494,6 +513,20 @@ class StaticAnalyzer:
         resolved = self._resolve_type(xml_type)
         if resolved is None:
             formula = sx.TRUE
+        elif isinstance(resolved, Rooted):
+            # Recurse on the *unresolved* inner type so the inner translation
+            # is cached under its own key (shared with unwrapped uses).
+            inner_type = (
+                xml_type.xml_type if isinstance(xml_type, Rooted) else resolved.xml_type
+            )
+            formula = document_formula(
+                self.type_formula(
+                    inner_type,
+                    constrain_siblings=True,
+                    attributes=attributes,
+                    labels=labels,
+                )
+            )
         elif isinstance(resolved, sx.Formula):
             formula = resolved
         elif isinstance(resolved, DTD):
@@ -653,6 +686,8 @@ class StaticAnalyzer:
             return None
         for xml_type in query.types:
             resolved = self._resolve_type(xml_type)
+            if isinstance(resolved, Rooted):
+                resolved = resolved.xml_type
             if isinstance(resolved, DTD):
                 return resolved, labels
         return None

@@ -28,6 +28,12 @@ suite):
   verdicts and solver-level counters asserted identical, per-backend
   ``solve_seconds`` / ``bdd_ite_calls`` / peak node counts recorded.
   ``--quick`` enforces committed per-backend ``bdd_ite_calls`` ceilings.
+* ``audit`` → ``BENCH_audit.json`` — the stylesheet-auditor workload: one
+  :func:`repro.xslt.rules.audit_stylesheet` pass over a committed example
+  (``--quick``: the clean Wikipedia control; full: the seeded XHTML
+  stylesheet), recording queries planned per rule, solver runs, cache hits
+  and wall time, plus a warm repeat through the same analyzer that must
+  need **zero** further solver runs.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ from pathlib import Path
 from repro.api import StaticAnalyzer
 from repro.cli import wire
 
-BENCHMARKS = ("api-batch", "cli-cache", "scaling", "frontier", "backend")
+BENCHMARKS = ("api-batch", "cli-cache", "scaling", "frontier", "backend", "audit")
 
 #: The twelve benchmark XPath expressions of Figure 21 — the single home of
 #: this corpus (benchmarks/conftest.py re-exports it for the pytest files).
@@ -549,6 +555,77 @@ def run_backend(quick: bool = False) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# audit
+# ---------------------------------------------------------------------------
+
+#: The committed example stylesheets the audit benchmark replays.
+AUDIT_QUICK_CASE = ("examples/audit_clean.xsl", "wikipedia")
+AUDIT_FULL_CASE = ("examples/audit_stylesheet.xsl", "xhtml-strict")
+
+
+def _repo_example(relative: str) -> Path:
+    path = Path(__file__).resolve().parents[3] / relative
+    if not path.is_file():
+        raise RuntimeError(f"example stylesheet not found: {path}")
+    return path
+
+
+def run_audit(quick: bool = False) -> dict:
+    """One auditor pass over a committed example, plus a warm repeat.
+
+    The cold pass records the real workload (queries planned per rule, one
+    ``solve_many`` batch, wall time); the warm repeat re-audits the same
+    stylesheet through the same analyzer and must answer every query from
+    the in-memory caches — zero further solver runs, or the run fails.
+    """
+    from repro.xslt import audit_stylesheet
+
+    stylesheet, schema = AUDIT_QUICK_CASE if quick else AUDIT_FULL_CASE
+    path = _repo_example(stylesheet)
+    analyzer = StaticAnalyzer()
+
+    cold_started = time.perf_counter()
+    cold = audit_stylesheet(path, schema, analyzer=analyzer)
+    cold_seconds = time.perf_counter() - cold_started
+
+    warm_started = time.perf_counter()
+    warm = audit_stylesheet(path, schema, analyzer=analyzer)
+    warm_seconds = time.perf_counter() - warm_started
+
+    if warm.solver_runs != 0:
+        raise RuntimeError(
+            f"warm audit repeat ran the solver {warm.solver_runs} time(s); "
+            "every verdict should have been cached"
+        )
+    if [f.as_dict() for f in warm.findings] != [f.as_dict() for f in cold.findings]:
+        raise RuntimeError("warm audit repeat changed the findings")
+
+    return {
+        "benchmark": "stylesheet audit: one solve_many batch, then a warm repeat",
+        "quick": quick,
+        "stylesheet": stylesheet,
+        "schema": schema,
+        "templates": cold.templates,
+        "branches": cold.branches,
+        "findings": cold.counts(),
+        "queries_by_rule": dict(cold.queries),
+        "cold": {
+            "wall_seconds": round(cold_seconds, 6),
+            "batch_seconds": round(cold.total_seconds, 6),
+            "solver_runs": cold.solver_runs,
+            "cache_hits": cold.cache_hits,
+        },
+        "warm": {
+            "wall_seconds": round(warm_seconds, 6),
+            "batch_seconds": round(warm.total_seconds, 6),
+            "solver_runs": warm.solver_runs,
+            "cache_hits": warm.cache_hits,
+        },
+        "cache_statistics": cold.cache_statistics,
+    }
+
+
+# ---------------------------------------------------------------------------
 # CLI entry
 # ---------------------------------------------------------------------------
 
@@ -558,10 +635,11 @@ _RUNNERS = {
     "scaling": run_scaling,
     "frontier": run_frontier,
     "backend": run_backend,
+    "audit": run_audit,
 }
 
 #: Benchmarks that understand the ``--quick`` smoke mode.
-_QUICK_AWARE = {"scaling", "frontier", "backend"}
+_QUICK_AWARE = {"scaling", "frontier", "backend", "audit"}
 
 #: Benchmarks whose multiprocess sections honour ``--workers``.
 _WORKERS_AWARE = {"api-batch"}

@@ -4,6 +4,7 @@ Subcommands (see :mod:`repro.cli` for the overview and ``docs/CLI.md`` for
 the user guide):
 
 * ``repro analyze`` — one-shot queries from arguments or a batch file.
+* ``repro audit``   — static analysis of an XSLT stylesheet against a schema.
 * ``repro serve``   — streaming JSON-lines request/response loop.
 * ``repro schemas`` — list/inspect the bundled DTDs.
 * ``repro bench``   — re-emit the ``BENCH_*.json`` reports.
@@ -99,6 +100,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir_option(analyze)
     _add_backend_option(analyze)
 
+    audit = subparsers.add_parser(
+        "audit",
+        help="static analysis of an XSLT stylesheet against a schema",
+        description="Audit an XSLT 1.0 stylesheet (with its import/include "
+        "closure) against a schema: dead templates, shadowed templates, "
+        "unreachable branches, dead selects, coverage gaps. All checks are "
+        "decided in one batched solver pass.",
+    )
+    audit.add_argument("stylesheet", metavar="STYLESHEET", help="path to the .xsl file")
+    audit.add_argument(
+        "--schema",
+        required=True,
+        metavar="SCHEMA",
+        help="document schema the stylesheet consumes: a built-in schema name "
+        "(see `repro schemas`) or a .dtd file",
+    )
+    audit.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    audit.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="lowest severity that makes the exit code 1 (default: error; "
+        "'never' always exits 0 for findings)",
+    )
+    audit.add_argument(
+        "--compact", action="store_true", help="single-line JSON output"
+    )
+    audit.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the decision-problem batch out to N worker processes "
+        "(default: 1, in-process)",
+    )
+    _add_cache_dir_option(audit)
+    _add_backend_option(audit)
+
     serve = subparsers.add_parser(
         "serve",
         help="answer JSONL requests on stdin until end-of-input",
@@ -134,7 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="NAME",
         help="benchmarks to run: api-batch, cli-cache, scaling, frontier, "
-        "backend (default: all)",
+        "backend, audit (default: all)",
     )
     bench.add_argument(
         "--quick",
@@ -185,6 +229,8 @@ def main(argv: list[str] | None = None) -> int:
     # Imported lazily so `repro schemas --help` never pays solver import cost.
     if args.command == "analyze":
         from repro.cli import analyze as command
+    elif args.command == "audit":
+        from repro.cli import audit as command
     elif args.command == "serve":
         from repro.cli import serve as command
     elif args.command == "schemas":

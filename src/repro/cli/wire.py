@@ -16,7 +16,11 @@ One *request* object describes one :class:`repro.api.Query`:
   ``.dtd`` file, or an inline ``{"dtd": "<source>", "root": ..., "name": ...}``
   object.  A missing list means "no type constraints"; a single entry is
   broadcast when the kind needs more (the usual "both sides under the same
-  schema" case).
+  schema" case).  Any of these forms can be anchored at a document node
+  (:class:`repro.analysis.problems.Rooted` — absolute paths then start above
+  the root element, as in XSLT) by prefixing a string entry with ``rooted:``
+  (``"rooted:xhtml"``, ``"rooted:type.dtd"``) or wrapping an entry in
+  ``{"rooted": <entry>}``.
 * ``id`` — optional opaque value echoed back by ``repro serve``.
 
 Batch files for ``repro analyze --batch`` hold either a JSON array of request
@@ -29,6 +33,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.analysis.problems import Rooted
 from repro.api import KINDS, Query
 from repro.xmltypes.dtd import DTD, parse_dtd
 
@@ -48,6 +53,9 @@ def resolve_wire_type(value: object, dtd_cache: DTDCache | None = None) -> objec
     if value is None:
         return None
     if isinstance(value, str):
+        if value.startswith("rooted:"):
+            inner = value[len("rooted:") :]
+            return _wire_rooted(resolve_wire_type(inner or None, dtd_cache), value)
         if value.endswith(".dtd"):
             path = Path(value)
             if not path.is_file():
@@ -57,12 +65,24 @@ def resolve_wire_type(value: object, dtd_cache: DTDCache | None = None) -> objec
             )
         return value  # built-in schema name; validated by the analyzer
     if isinstance(value, dict):
+        if "rooted" in value:
+            if set(value) != {"rooted"}:
+                raise WireError(
+                    f"a rooted type object holds exactly one 'rooted' key: {value!r}"
+                )
+            return _wire_rooted(resolve_wire_type(value["rooted"], dtd_cache), value)
         if "dtd" not in value:
             raise WireError(f"inline type object needs a 'dtd' key: {value!r}")
         return _parse_cached(
             value["dtd"], value.get("root"), value.get("name", "inline"), dtd_cache
         )
     raise WireError(f"unsupported type constraint in request: {value!r}")
+
+
+def _wire_rooted(inner: object, original: object) -> Rooted:
+    if isinstance(inner, Rooted):
+        raise WireError(f"'rooted' cannot be nested: {original!r}")
+    return Rooted(inner)
 
 
 def _parse_cached(

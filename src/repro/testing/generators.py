@@ -345,11 +345,17 @@ def _gen_expr(rng, labels, attributes, config, depth: int) -> xp.Expr:
     roll = rng.random()
     # Expression-level union/intersection cannot be parenthesised in the
     # surface syntax, so operands are plain paths (the printable shapes).
+    # Unions are occasionally multi-way: "a | b | c" parses left-nested, so
+    # the chain is built by left-folding (the only shape that round-trips).
     if depth > 0 and roll < 0.10:
-        return xp.ExprUnion(
-            _gen_expr(rng, labels, attributes, config, 0),
-            _gen_expr(rng, labels, attributes, config, 0),
-        )
+        operands = [
+            _gen_expr(rng, labels, attributes, config, 0)
+            for _ in range(2 if rng.random() < 0.7 else 3)
+        ]
+        expr = operands[0]
+        for operand in operands[1:]:
+            expr = xp.ExprUnion(expr, operand)
+        return expr
     if depth > 0 and roll < 0.16:
         return xp.ExprIntersection(
             _gen_expr(rng, labels, attributes, config, 0),
@@ -382,8 +388,10 @@ def _gen_path(rng, labels, attributes, config) -> xp.Path:
 def _gen_qualified_step(rng, labels, attributes, config) -> xp.Path:
     if rng.random() < 0.08:
         step: xp.Path = xp.PathUnion(
-            _gen_step(rng, labels), _gen_step(rng, labels)
+            _gen_union_branch(rng, labels), _gen_union_branch(rng, labels)
         )
+        if rng.random() < 0.25:
+            step = xp.PathUnion(step, _gen_union_branch(rng, labels))
     else:
         step = _gen_step(rng, labels)
     while rng.random() < 0.35:
@@ -391,6 +399,15 @@ def _gen_qualified_step(rng, labels, attributes, config) -> xp.Path:
             step,
             _gen_qualifier(rng, labels, attributes, config, config.max_qualifier_depth),
         )
+    return step
+
+
+def _gen_union_branch(rng, labels) -> xp.Path:
+    """One branch of a parenthesised union: a step, or a short composition
+    ("html/(head/title | body)" shapes)."""
+    step: xp.Path = _gen_step(rng, labels)
+    if rng.random() < 0.3:
+        return xp.PathCompose(step, _gen_step(rng, labels))
     return step
 
 

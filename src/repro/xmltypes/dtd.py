@@ -402,3 +402,103 @@ class _ContentParser:
         if self.accept("+"):
             return cm.CPlus(inner)
         return inner
+
+
+# -- syntactic emptiness / reachability ------------------------------------------
+#
+# Content models are regular expressions, so "can this element complete a
+# finite valid subtree?" (productivity) and "can this element occur in a
+# valid document at all?" (reachability from the designated root) are
+# decidable by fixpoint over the declarations — no solver run needed.  The
+# XSLT auditor uses these to decide coverage for elements no template could
+# syntactically match.
+
+
+def _producible(model: cm.ContentModel, ok) -> bool:
+    """Can the model produce some word whose symbols all satisfy ``ok``?"""
+    if isinstance(model, cm.CSymbol):
+        return ok(model.name)
+    if isinstance(model, cm.CSeq):
+        return _producible(model.left, ok) and _producible(model.right, ok)
+    if isinstance(model, cm.CChoice):
+        return _producible(model.left, ok) or _producible(model.right, ok)
+    if isinstance(model, (cm.COptional, cm.CStar)):
+        return True
+    if isinstance(model, cm.CPlus):
+        return _producible(model.inner, ok)
+    return True  # CEmpty
+
+
+def _word_containing(model: cm.ContentModel, symbol: str, ok) -> bool:
+    """Can the model produce a word containing ``symbol`` whose *other*
+    occurrences all satisfy ``ok``?"""
+    if isinstance(model, cm.CSymbol):
+        return model.name == symbol
+    if isinstance(model, cm.CSeq):
+        return (
+            _word_containing(model.left, symbol, ok) and _producible(model.right, ok)
+        ) or (
+            _producible(model.left, ok) and _word_containing(model.right, symbol, ok)
+        )
+    if isinstance(model, cm.CChoice):
+        return _word_containing(model.left, symbol, ok) or _word_containing(
+            model.right, symbol, ok
+        )
+    if isinstance(model, (cm.COptional, cm.CStar, cm.CPlus)):
+        # One iteration holds the occurrence; the others can be skipped.
+        return _word_containing(model.inner, symbol, ok)
+    return False  # CEmpty
+
+
+def producible_elements(dtd: DTD) -> frozenset[str]:
+    """Declared elements that can root a finite valid subtree.
+
+    Least fixpoint: an element is producible when some word of its content
+    model uses only producible symbols (undeclared symbols referenced by a
+    content model are unconstrained and count as producible).
+    """
+    declared = set(dtd.elements)
+    producible: set[str] = set()
+
+    def ok(symbol: str) -> bool:
+        return symbol not in declared or symbol in producible
+
+    changed = True
+    while changed:
+        changed = False
+        for name in declared - producible:
+            if _producible(dtd.content_of(name), ok):
+                producible.add(name)
+                changed = True
+    return frozenset(producible)
+
+
+def reachable_elements(dtd: DTD) -> frozenset[str]:
+    """Declared elements that occur in at least one valid finite document.
+
+    An element occurs in a valid document iff it is producible and some
+    chain of declarations links it to the designated root such that every
+    link's remaining siblings can be completed too.  With no designated
+    root, any producible element may serve as the document root.
+    """
+    producible = producible_elements(dtd)
+    if dtd.root is None:
+        return producible
+
+    def ok(symbol: str) -> bool:
+        return symbol not in dtd.elements or symbol in producible
+
+    if dtd.root not in producible:
+        return frozenset()
+    seen = {dtd.root}
+    queue = [dtd.root]
+    while queue:
+        parent = queue.pop()
+        model = dtd.content_of(parent)
+        for child in cm.symbols(model):
+            if child in seen or child not in dtd.elements or child not in producible:
+                continue
+            if _word_containing(model, child, ok):
+                seen.add(child)
+                queue.append(child)
+    return frozenset(seen)

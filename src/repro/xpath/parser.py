@@ -26,8 +26,13 @@ fragment of Figure 4:
 
 Constructs of full XPath that fall outside the fragment — positional
 predicates like ``[1]``, node-type tests like ``text()``, functions like
-``position()`` — are rejected with a targeted error message rather than a
-generic "unexpected character".
+``position()``, node identities like ``id()``/``key()`` — are rejected with
+a targeted error message rather than a generic "unexpected character".
+
+:func:`parse_pattern` parses the XSLT 1.0 *match pattern* grammar — the
+restriction of XPath to child/attribute steps, ``//`` separators, optional
+root anchoring and top-level ``|`` alternatives — into the same AST, with
+targeted errors for the pattern-only constructs the fragment rejects.
 """
 
 from __future__ import annotations
@@ -71,6 +76,11 @@ _UNSUPPORTED_FUNCTIONS = frozenset(
     {"text", "node", "comment", "processing-instruction", "position", "last", "count"}
 )
 
+#: Functions selecting nodes by identity (XSLT pattern grammar); recognised
+#: separately because "rewrite structurally" is better advice than "outside
+#: the fragment".
+_IDENTITY_FUNCTIONS = frozenset({"id", "key"})
+
 _STAR_STEP = xp.Step(xp.Axis.DESC_OR_SELF, None)
 
 
@@ -86,6 +96,21 @@ class _Tokens:
             if match is None:
                 stripped = text[pos:].lstrip()
                 offset = pos + (len(text[pos:]) - len(stripped))
+                # A quoted argument right after id( / key( would otherwise be
+                # reported as a value comparison; name the real culprit.
+                if (
+                    len(self.items) >= 2
+                    and self.items[-1][1] == "("
+                    and self.items[-2][0] == "name"
+                    and self.items[-2][1] in _IDENTITY_FUNCTIONS
+                ):
+                    name, name_position = self.items[-2][1], self.items[-2][2]
+                    raise ParseError(
+                        f"{name}() selects nodes by identity, which the tree "
+                        "logic cannot track; match on document structure instead",
+                        name_position,
+                        text,
+                    )
                 if stripped[:1] in ("=", "<", ">", "'", '"'):
                     raise ParseError(
                         "value comparisons are outside the supported fragment "
@@ -264,6 +289,13 @@ def _parse_step(tokens: _Tokens) -> xp.Path:
 
     if kind == "name":
         following = tokens.peek(1)
+        if following is not None and following[1] == "(" and value in _IDENTITY_FUNCTIONS:
+            raise ParseError(
+                f"{value}() selects nodes by identity, which the tree logic "
+                "cannot track; match on document structure instead",
+                position,
+                tokens.text,
+            )
         if following is not None and following[1] == "(" and value in _UNSUPPORTED_FUNCTIONS:
             raise ParseError(
                 f"{value}() is outside the supported fragment (only element "
@@ -365,6 +397,175 @@ def _parse_qualifier_atom(tokens: _Tokens) -> xp.Qualifier:
         tokens.expect(")")
         return inner
     return _parse_qualifier_path(tokens)
+
+
+# -- XSLT match patterns ----------------------------------------------------------
+
+
+def parse_pattern(text: str) -> xp.Expr:
+    """Parse an XSLT 1.0 match pattern into the fragment's AST.
+
+    The pattern grammar (XSLT 1.0 §5.2) restricts XPath to top-level
+    alternatives joined by ``|``, each a sequence of child or attribute
+    steps joined by ``/`` or ``//``, optionally anchored at the root by a
+    leading ``/`` or ``//``.  Predicates use the fragment's qualifier
+    grammar.  One extension of the strict production is accepted because
+    the rest of the pipeline supports it: parenthesised relative-path
+    unions mid-pattern (``html/(head | body)``).
+
+    The bare pattern ``/`` (the document node) parses to ``/self::*``;
+    under a :class:`repro.analysis.problems.Rooted` type constraint that
+    expression selects exactly the document node.
+
+    Pattern-only constructs outside the fragment — ``id()`` and ``key()``
+    selections, non-child axes, ``.``/``..`` steps — raise
+    :class:`ParseError` carrying the offending position.
+    """
+    tokens = _Tokens(text)
+    expr: xp.Expr = _parse_pattern_alternative(tokens)
+    while tokens.accept("|"):
+        expr = xp.ExprUnion(expr, _parse_pattern_alternative(tokens))
+    if not tokens.at_end():
+        raise ParseError("trailing input after pattern", tokens.peek()[2], text)
+    return expr
+
+
+@functools.lru_cache(maxsize=4096)
+def parse_pattern_cached(text: str) -> xp.Expr:
+    """Memoised :func:`parse_pattern` (safe: the AST is immutable)."""
+    return parse_pattern(text)
+
+
+def _parse_pattern_alternative(tokens: _Tokens) -> xp.Expr:
+    token = tokens.peek()
+    if token is None:
+        raise ParseError("empty pattern", len(tokens.text), tokens.text)
+    if token[1] == "//":
+        tokens.next()
+        rest = _parse_pattern_relative(tokens)
+        return xp.AbsolutePath(xp.PathCompose(_STAR_STEP, rest))
+    if token[1] == "/":
+        tokens.next()
+        following = tokens.peek()
+        if following is None or following[1] == "|":
+            # The pattern "/" matches the document node itself.
+            return xp.AbsolutePath(xp.Step(xp.Axis.SELF, None))
+        return xp.AbsolutePath(_parse_pattern_relative(tokens))
+    return xp.RelativePath(_parse_pattern_relative(tokens))
+
+
+def _parse_pattern_relative(tokens: _Tokens) -> xp.Path:
+    path = _parse_pattern_step(tokens)
+    while True:
+        token = tokens.peek()
+        if token is None:
+            return path
+        if token[1] in ("/", "//"):
+            if xp.ends_in_attribute(path):
+                raise ParseError(
+                    "attribute steps select no tree node to navigate from and "
+                    "may only appear in trailing or qualifier position",
+                    token[2],
+                    tokens.text,
+                )
+        if token[1] == "//":
+            tokens.next()
+            path = xp.PathCompose(
+                xp.PathCompose(path, _STAR_STEP), _parse_pattern_step(tokens)
+            )
+        elif token[1] == "/":
+            tokens.next()
+            path = xp.PathCompose(path, _parse_pattern_step(tokens))
+        else:
+            return path
+
+
+def _parse_pattern_step(tokens: _Tokens) -> xp.Path:
+    token = tokens.peek()
+    if token is None:
+        raise ParseError("expected a pattern step", len(tokens.text), tokens.text)
+    kind, value, position = token
+
+    if value == "(":
+        tokens.next()
+        inner: xp.Path = _parse_pattern_relative(tokens)
+        while tokens.accept("|"):
+            inner = xp.PathUnion(inner, _parse_pattern_relative(tokens))
+        tokens.expect(")")
+        return _parse_qualifiers(tokens, inner)
+
+    if value == "*":
+        tokens.next()
+        return _parse_qualifiers(tokens, xp.Step(xp.Axis.CHILD, None))
+
+    if value == "@":
+        tokens.next()
+        return _parse_qualifiers(tokens, _parse_attribute_test(tokens))
+
+    if value in (".", ".."):
+        raise ParseError(
+            f"{value!r} is not a pattern step: XSLT match patterns are built "
+            "from child and attribute steps only",
+            position,
+            tokens.text,
+        )
+
+    if kind == "number":
+        raise ParseError(
+            "positional predicates are outside the supported fragment "
+            "(the logic has no counting)",
+            position,
+            tokens.text,
+        )
+
+    if kind == "name":
+        following = tokens.peek(1)
+        if following is not None and following[1] == "(":
+            if value in _IDENTITY_FUNCTIONS:
+                raise ParseError(
+                    f"{value}() selects nodes by identity, which the tree "
+                    "logic cannot track; match on document structure instead",
+                    position,
+                    tokens.text,
+                )
+            raise ParseError(
+                f"{value}() is not allowed in a match pattern (patterns are "
+                "built from child and attribute steps)",
+                position,
+                tokens.text,
+            )
+        if following is not None and following[1] == "::":
+            if value == "child":
+                tokens.next()
+                tokens.next()  # '::'
+                test = tokens.peek()
+                if test is None:
+                    raise ParseError(
+                        "expected a node test", len(tokens.text), tokens.text
+                    )
+                if test[1] == "*":
+                    tokens.next()
+                    return _parse_qualifiers(tokens, xp.Step(xp.Axis.CHILD, None))
+                if test[0] == "name":
+                    tokens.next()
+                    return _parse_qualifiers(tokens, xp.Step(xp.Axis.CHILD, test[1]))
+                raise ParseError("expected a node test", test[2], tokens.text)
+            if value == "attribute":
+                tokens.next()
+                tokens.next()  # '::'
+                return _parse_qualifiers(tokens, _parse_attribute_test(tokens))
+            if value in _AXIS_NAMES:
+                raise ParseError(
+                    f"the {value} axis is not allowed in a match pattern "
+                    "(XSLT 1.0 patterns use only the child and attribute axes)",
+                    position,
+                    tokens.text,
+                )
+            raise ParseError(f"unknown axis {value!r}", position, tokens.text)
+        tokens.next()
+        return _parse_qualifiers(tokens, xp.Step(xp.Axis.CHILD, value))
+
+    raise ParseError(f"unexpected token {value!r} in pattern", position, tokens.text)
 
 
 def _parse_qualifier_path(tokens: _Tokens) -> xp.QualifierPath:

@@ -1,0 +1,48 @@
+"""Static analysis of XSLT 1.0 stylesheets (the ``repro audit`` subsystem).
+
+The paper's headline use case is static analysis of XPath expressions *as
+they occur in host languages* — its Fig. 21 benchmarks are drawn from XSLT
+use cases.  This package lifts the solver from a yes/no oracle to a program
+analyzer: it parses a stylesheet subset (:mod:`repro.xslt.parser`), compiles
+every match pattern and ``select``/``test`` expression together with its
+static context into the fragment's AST under a document-rooted type
+constraint (:mod:`repro.xslt.patterns`), plans one decision problem per
+check and decides them all through a single cache-aware
+:meth:`repro.api.StaticAnalyzer.solve_many` batch
+(:mod:`repro.xslt.rules`), and renders the findings as human text or stable
+JSON (:mod:`repro.xslt.report`).
+
+Rules:
+
+========================  ========  ====================================
+rule                      severity  decision problem
+========================  ========  ====================================
+``dead-template``         error     satisfiability of the match pattern
+``shadowed-template``     error     containment against a same-mode
+                                    template of higher import
+                                    precedence/priority
+``unreachable-branch``    warning   emptiness of an ``xsl:when``/
+                                    ``xsl:if`` test in its match context
+``dead-select``           warning   emptiness of a ``select`` from every
+                                    node its template can match
+``coverage-gap``          warning   coverage of ``//element`` by the
+                                    candidate match patterns (or DTD
+                                    reachability when no template could
+                                    syntactically match)
+========================  ========  ====================================
+"""
+
+from repro.xslt.parser import Expression, Stylesheet, StylesheetError, Template, load_stylesheet
+from repro.xslt.report import AuditReport, Finding
+from repro.xslt.rules import audit_stylesheet
+
+__all__ = [
+    "AuditReport",
+    "Expression",
+    "Finding",
+    "Stylesheet",
+    "StylesheetError",
+    "Template",
+    "audit_stylesheet",
+    "load_stylesheet",
+]

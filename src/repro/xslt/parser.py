@@ -1,0 +1,374 @@
+"""Expat-based parser for the audited XSLT 1.0 stylesheet subset.
+
+The auditor consumes a *static* projection of a stylesheet: the template
+rules (``xsl:template`` with ``match``/``name``/``mode``/``priority``), the
+expressions its instructions evaluate (``xsl:apply-templates``/
+``xsl:for-each``/``xsl:value-of`` ``select``, ``xsl:if``/``xsl:when``
+``test``) together with their nesting, and the ``xsl:import``/
+``xsl:include`` graph.  Everything else — literal result elements,
+variables, attribute sets, output control — is traversed but not recorded.
+
+Every recorded item carries file/line/column provenance (the position of
+the element that declared it), so findings can point back into the source.
+
+Import precedence follows XSLT 1.0 §2.6.2: an importing stylesheet has
+higher precedence than every stylesheet it imports, and a later
+``xsl:import`` outranks an earlier one.  ``xsl:include`` is textual: the
+included templates take the including file's precedence.  Cyclic
+imports/includes are an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from xml.parsers import expat
+
+from repro.core.errors import ReproError
+
+#: The XSLT namespace; elements outside it are literal result elements.
+XSLT_NS = "http://www.w3.org/1999/XSL/Transform"
+
+#: Instruction elements whose ``select`` attribute the auditor analyses.
+_SELECT_SOURCES = ("xsl:apply-templates", "xsl:for-each", "xsl:value-of")
+
+#: Instruction elements whose ``test`` attribute the auditor analyses.
+_TEST_SOURCES = ("xsl:if", "xsl:when")
+
+
+class StylesheetError(ReproError):
+    """A stylesheet the auditor cannot load (malformed XML, missing href,
+    circular imports, invalid template attributes)."""
+
+    def __init__(
+        self,
+        message: str,
+        file: str | None = None,
+        line: int | None = None,
+        column: int | None = None,
+    ):
+        self.file = file
+        self.line = line
+        self.column = column
+        location = ""
+        if file is not None:
+            location = f"{file}:"
+            if line is not None:
+                location += f"{line}:"
+                if column is not None:
+                    location += f"{column}:"
+            location += " "
+        super().__init__(f"{location}{message}")
+
+
+@dataclass(frozen=True)
+class Expression:
+    """One ``select``/``test`` attribute extracted from a template body.
+
+    ``index`` numbers the expression within its template (document order).
+    ``ancestors`` holds the indices of the enclosing ``xsl:for-each``
+    selects and ``xsl:if``/``xsl:when`` tests (any of them being provably
+    empty makes this expression unreachable); ``context_chain`` is the
+    subset of ancestors that *move the context node* (``xsl:for-each``
+    selects only), innermost last.
+    """
+
+    role: str  # "select" | "test"
+    source: str  # "xsl:apply-templates" | "xsl:for-each" | ...
+    text: str
+    file: str
+    line: int
+    column: int
+    index: int
+    ancestors: tuple[int, ...] = ()
+    context_chain: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Template:
+    """One ``xsl:template`` rule with its audited body expressions.
+
+    ``precedence`` is the import precedence of the file that (textually)
+    holds the rule — higher wins; ``order`` is a global document-order
+    tiebreak across the whole load.  ``priority`` is the explicit priority,
+    or ``None`` when the XSLT default-priority rules apply per pattern
+    alternative (see :func:`repro.xslt.patterns.default_priority`).
+    """
+
+    match: str | None
+    name: str | None
+    mode: str | None
+    priority: float | None
+    file: str
+    line: int
+    column: int
+    precedence: int
+    order: int
+    expressions: tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class Stylesheet:
+    """A loaded stylesheet: its template rules plus the files they came from."""
+
+    path: str
+    templates: tuple[Template, ...]
+    files: tuple[str, ...]
+
+
+def load_stylesheet(path: str | Path) -> Stylesheet:
+    """Load a stylesheet and its ``xsl:import``/``xsl:include`` closure."""
+    resolved = Path(path)
+    if not resolved.is_file():
+        raise StylesheetError(f"stylesheet not found: {path}")
+    loader = _Loader()
+    templates = loader.process(resolved.resolve(), chain=())
+    return Stylesheet(
+        path=str(path),
+        templates=tuple(templates),
+        files=tuple(loader.files),
+    )
+
+
+# -- loading ---------------------------------------------------------------------
+
+
+@dataclass
+class _RawTemplate:
+    match: str | None
+    name: str | None
+    mode: str | None
+    priority: float | None
+    file: str
+    line: int
+    column: int
+    expressions: list[Expression]
+
+
+@dataclass
+class _ParsedFile:
+    """One parsed file: top-level entries in document order."""
+
+    #: ``("import"|"include", href, line, column)`` references.
+    references: list[tuple[str, str, int, int]]
+    templates: list[_RawTemplate]
+
+
+class _Loader:
+    def __init__(self) -> None:
+        self._precedence = 0
+        self._order = 0
+        self.files: list[str] = []
+
+    def process(self, path: Path, chain: tuple[Path, ...]) -> list[Template]:
+        """Post-order over the import tree: imported templates first (lower
+        precedence), then this file's own (and included) templates."""
+        imports, raw_templates = self._gather(path, chain)
+        templates: list[Template] = []
+        for import_path in imports:
+            templates.extend(self.process(import_path, chain + (path,)))
+        self._precedence += 1
+        precedence = self._precedence
+        for raw in raw_templates:
+            self._order += 1
+            templates.append(
+                Template(
+                    match=raw.match,
+                    name=raw.name,
+                    mode=raw.mode,
+                    priority=raw.priority,
+                    file=raw.file,
+                    line=raw.line,
+                    column=raw.column,
+                    precedence=precedence,
+                    order=self._order,
+                    expressions=tuple(raw.expressions),
+                )
+            )
+        return templates
+
+    def _gather(
+        self, path: Path, chain: tuple[Path, ...]
+    ) -> tuple[list[Path], list[_RawTemplate]]:
+        """This file's import references and its templates, with includes
+        expanded inline (they share the including file's precedence)."""
+        if path in chain:
+            cycle = " -> ".join(str(p) for p in chain + (path,))
+            raise StylesheetError(f"circular xsl:import/xsl:include: {cycle}")
+        parsed = _parse_file(path)
+        self.files.append(str(path))
+        imports: list[Path] = []
+        templates: list[_RawTemplate] = []
+        for kind, href, line, column in parsed.references:
+            target = (path.parent / href).resolve()
+            if not target.is_file():
+                raise StylesheetError(
+                    f"xsl:{kind} href not found: {href}", str(path), line, column
+                )
+            if kind == "import":
+                imports.append(target)
+            else:
+                sub_imports, sub_templates = self._gather(target, chain + (path,))
+                imports.extend(sub_imports)
+                templates.extend(sub_templates)
+        templates.extend(parsed.templates)
+        return imports, templates
+
+
+# -- per-file expat parsing ------------------------------------------------------
+
+
+def _parse_file(path: Path) -> _ParsedFile:
+    handler = _Handler(str(path))
+    parser = expat.ParserCreate(namespace_separator=" ")
+    parser.StartElementHandler = handler.start
+    parser.EndElementHandler = handler.end
+    handler.parser = parser
+    try:
+        with path.open("rb") as stream:
+            parser.ParseFile(stream)
+    except expat.ExpatError as exc:
+        raise StylesheetError(
+            f"not well-formed XML: {expat.errors.messages[exc.code]}",
+            str(path),
+            exc.lineno,
+            exc.offset + 1,
+        ) from None
+    return _ParsedFile(references=handler.references, templates=handler.templates)
+
+
+class _Handler:
+    def __init__(self, file: str) -> None:
+        self.file = file
+        self.parser: expat.XMLParserType | None = None
+        self.references: list[tuple[str, str, int, int]] = []
+        self.templates: list[_RawTemplate] = []
+        self.depth = 0
+        self.template: _RawTemplate | None = None
+        #: Per open element inside a template: the indices of the expression
+        #: scopes it opened (an ``xsl:for-each`` select, an ``xsl:if``/
+        #: ``xsl:when`` test), or ``None``.
+        self.scopes: list[tuple[int, ...] | None] = []
+
+    def _position(self) -> tuple[int, int]:
+        return self.parser.CurrentLineNumber, self.parser.CurrentColumnNumber + 1
+
+    def _error(self, message: str) -> StylesheetError:
+        line, column = self._position()
+        return StylesheetError(message, self.file, line, column)
+
+    def _xsl_name(self, name: str) -> str | None:
+        """``"xsl:local"`` for elements in the XSLT namespace, else ``None``."""
+        namespace, _, local = name.rpartition(" ")
+        if namespace == XSLT_NS:
+            return f"xsl:{local}"
+        return None
+
+    def start(self, name: str, attrs: dict[str, str]) -> None:
+        self.depth += 1
+        xsl = self._xsl_name(name)
+        line, column = self._position()
+        if self.depth == 1:
+            if xsl not in ("xsl:stylesheet", "xsl:transform"):
+                raise self._error(
+                    "not an XSLT stylesheet: the document element must be "
+                    "xsl:stylesheet or xsl:transform (simplified literal-"
+                    "result-element stylesheets are outside the audited subset)"
+                )
+            self.scopes.append(None)
+            return
+        if self.template is None:
+            self.scopes.append(None)
+            if self.depth != 2:
+                return
+            if xsl in ("xsl:import", "xsl:include"):
+                href = attrs.get("href")
+                if href is None:
+                    raise self._error(f"{xsl} requires an href attribute")
+                self.references.append((xsl.split(":")[1], href, line, column))
+            elif xsl == "xsl:template":
+                self._start_template(attrs, line, column)
+            return
+        # Inside a template body.
+        self.scopes.append(self._instruction(xsl, attrs, line, column))
+
+    def _start_template(self, attrs: dict[str, str], line: int, column: int) -> None:
+        match = attrs.get("match")
+        name = attrs.get("name")
+        if match is None and name is None:
+            raise self._error("xsl:template requires a match or name attribute")
+        priority: float | None = None
+        if "priority" in attrs:
+            try:
+                priority = float(attrs["priority"])
+            except ValueError:
+                raise self._error(
+                    f"invalid xsl:template priority {attrs['priority']!r}"
+                ) from None
+        self.template = _RawTemplate(
+            match=match,
+            name=name,
+            mode=attrs.get("mode"),
+            priority=priority,
+            file=self.file,
+            line=line,
+            column=column,
+            expressions=[],
+        )
+        self.scopes.append(None)
+
+    def _instruction(
+        self, xsl: str | None, attrs: dict[str, str], line: int, column: int
+    ) -> tuple[int, ...] | None:
+        """Record the expressions of one instruction; returns the expression
+        scopes it opens for its children."""
+        if xsl in _SELECT_SOURCES:
+            text = attrs.get("select")
+            if text is None:
+                if xsl == "xsl:apply-templates":
+                    return None  # defaults to child::node()
+                raise self._error(f"{xsl} requires a select attribute")
+            expression = self._record("select", xsl, text, line, column)
+            if xsl == "xsl:for-each":
+                return (expression.index,)
+            return None
+        if xsl in _TEST_SOURCES:
+            text = attrs.get("test")
+            if text is None:
+                raise self._error(f"{xsl} requires a test attribute")
+            expression = self._record("test", xsl, text, line, column)
+            return (expression.index,)
+        return None
+
+    def _record(
+        self, role: str, source: str, text: str, line: int, column: int
+    ) -> Expression:
+        ancestors: list[int] = []
+        for scope in self.scopes:
+            if scope is not None:
+                ancestors.extend(scope)
+        context_chain = tuple(
+            index
+            for index in ancestors
+            if self.template.expressions[index].source == "xsl:for-each"
+        )
+        expression = Expression(
+            role=role,
+            source=source,
+            text=text,
+            file=self.file,
+            line=line,
+            column=column,
+            index=len(self.template.expressions),
+            ancestors=tuple(ancestors),
+            context_chain=context_chain,
+        )
+        self.template.expressions.append(expression)
+        return expression
+
+    def end(self, name: str) -> None:
+        self.depth -= 1
+        self.scopes.pop()
+        if self.depth == 1 and self.template is not None:
+            self.templates.append(self.template)
+            self.template = None

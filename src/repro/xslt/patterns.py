@@ -1,0 +1,210 @@
+"""Compiling XSLT match patterns and context-relative expressions.
+
+Everything the auditor decides is phrased over a *document-rooted* type
+constraint (:class:`repro.analysis.problems.Rooted`): the marked context
+node of each query is a virtual document node whose single child is the
+typed root element.  Under that convention:
+
+* a match pattern compiles to the absolute expression selecting exactly the
+  nodes it matches — a relative pattern ``p`` matches any node with an
+  ancestor-or-self anchor, i.e. ``//p``; an absolute pattern is itself; the
+  document-node pattern ``/`` is ``/self::*`` (only the document node
+  satisfies a self step at the marked node);
+* a ``select``/``test`` expression evaluated inside a template composes
+  with its *static context* — the expression selecting the template's
+  matchable nodes, further composed through enclosing ``xsl:for-each``
+  selects — by path concatenation (absolute expressions ignore the
+  context, exactly as at run time).
+
+Top-level pattern alternatives (``|``) become separate branches, because
+XSLT treats each alternative as its own template rule with its own default
+priority (§5.5).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import ParseError
+from repro.xpath import ast as xp
+from repro.xpath.parser import parse_pattern_cached, parse_xpath_cached
+
+_STAR_STEP = xp.Step(xp.Axis.DESC_OR_SELF, None)
+
+#: Offset introduced by :func:`parse_test`'s wrapper, subtracted from error
+#: positions so they point into the original ``test`` text.
+_TEST_PREFIX = "self::*["
+
+
+def pattern_alternatives(text: str) -> list[xp.Expr]:
+    """The top-level ``|`` alternatives of a match pattern, in order.
+
+    Each alternative is an :class:`~repro.xpath.ast.AbsolutePath` or
+    :class:`~repro.xpath.ast.RelativePath` (parenthesised unions nested
+    *inside* an alternative stay put).  Raises :class:`ParseError` for
+    patterns outside the audited grammar.
+    """
+    alternatives: list[xp.Expr] = []
+
+    def walk(expr: xp.Expr) -> None:
+        if isinstance(expr, xp.ExprUnion):
+            walk(expr.left)
+            walk(expr.right)
+        else:
+            alternatives.append(expr)
+
+    walk(parse_pattern_cached(text))
+    return alternatives
+
+
+def match_expression(alternative: xp.Expr) -> xp.AbsolutePath:
+    """The absolute expression selecting exactly the nodes a pattern
+    alternative matches (under a document-rooted type)."""
+    if isinstance(alternative, xp.AbsolutePath):
+        return alternative
+    return xp.AbsolutePath(xp.PathCompose(_STAR_STEP, alternative.path))
+
+
+def default_priority(alternative: xp.Expr) -> float:
+    """The XSLT 1.0 §5.5 default priority of one pattern alternative.
+
+    A bare name test gets 0, a bare wildcard −0.5 (likewise for attribute
+    patterns); every structured pattern — multiple steps, predicates, root
+    anchoring — gets 0.5.  (``ns:*`` name tests, the −0.25 row, are outside
+    the tokeniser's QName grammar and cannot occur.)
+    """
+    if isinstance(alternative, xp.RelativePath):
+        step = alternative.path
+        if isinstance(step, xp.Step) and step.axis is xp.Axis.CHILD:
+            return 0.0 if step.label is not None else -0.5
+        if isinstance(step, xp.AttributeStep):
+            return 0.0 if step.name is not None else -0.5
+    return 0.5
+
+
+def outranks(left, right) -> bool:
+    """Does template-rule branch ``left`` outrank ``right`` in conflict
+    resolution?  Import precedence first, then priority (XSLT 1.0 §5.5);
+    equal rank is a stylesheet conflict, not a shadow, and returns False.
+    Operands are ``(precedence, priority)`` pairs."""
+    if left[0] != right[0]:
+        return left[0] > right[0]
+    return left[1] > right[1]
+
+
+class ComposeError(ValueError):
+    """A context expression no relative path can navigate from."""
+
+
+def compose_context(context: xp.Expr, expr: xp.Expr) -> xp.Expr:
+    """The nodes ``expr`` selects when evaluated from ``context``'s nodes.
+
+    Distributes over unions and intersections on both sides; absolute
+    expressions ignore the context (they are anchored at the document node
+    already).  Raises :class:`ComposeError` when the context ends in an
+    attribute step — the data model has no attribute nodes to navigate
+    from, so such expressions are skipped rather than mis-analysed.
+    """
+    if isinstance(expr, xp.ExprUnion):
+        return xp.ExprUnion(
+            compose_context(context, expr.left), compose_context(context, expr.right)
+        )
+    if isinstance(expr, xp.ExprIntersection):
+        return xp.ExprIntersection(
+            compose_context(context, expr.left), compose_context(context, expr.right)
+        )
+    if isinstance(expr, xp.AbsolutePath):
+        return expr
+    if isinstance(context, xp.ExprUnion):
+        return xp.ExprUnion(
+            compose_context(context.left, expr), compose_context(context.right, expr)
+        )
+    if not isinstance(context, xp.AbsolutePath):
+        raise ComposeError(f"cannot compose from context {context}")
+    if xp.ends_in_attribute(context.path):
+        raise ComposeError(
+            "the context selects attribute nodes, which relative expressions "
+            "cannot navigate from"
+        )
+    return xp.AbsolutePath(xp.PathCompose(context.path, expr.path))
+
+
+def parse_test(text: str) -> xp.Expr:
+    """Parse an ``xsl:if``/``xsl:when`` ``test`` as a truth question.
+
+    XSLT evaluates ``test`` and takes its boolean value; for the fragment's
+    expressions that is "does it select any node from the context node?".
+    Parsing ``self::*[test]`` puts the whole qualifier grammar — ``and``/
+    ``or``/``not(...)``, attribute tests, nested paths — at the test's
+    disposal: the wrapped expression selects the context node iff the test
+    is true there, so the *emptiness* of its context composition decides
+    whether the branch can ever be taken.
+
+    Error positions are shifted back onto the original ``test`` text.
+    """
+    try:
+        return parse_xpath_cached(f"{_TEST_PREFIX}{text}]")
+    except ParseError as exc:
+        message = re.sub(r" \(at position .*\)$", "", str(exc), flags=re.DOTALL)
+        position = exc.position
+        if position is not None:
+            position = min(max(0, position - len(_TEST_PREFIX)), len(text))
+        raise ParseError(message, position, text) from None
+
+
+# -- syntactic prescreens --------------------------------------------------------
+
+
+def _last_steps(path: xp.Path) -> list[xp.Path]:
+    if isinstance(path, xp.PathCompose):
+        return _last_steps(path.second)
+    if isinstance(path, xp.QualifiedPath):
+        return _last_steps(path.path)
+    if isinstance(path, xp.PathUnion):
+        return _last_steps(path.left) + _last_steps(path.right)
+    return [path]
+
+
+def may_match_element(alternative: xp.Expr, label: str) -> bool:
+    """Syntactic may-analysis: could this pattern alternative match an
+    element named ``label``?  (Pattern steps are child-axis only, so the
+    last step decides; the document-node pattern matches no element.)"""
+    for step in _last_steps(alternative.path):
+        if isinstance(step, xp.Step) and step.axis is xp.Axis.CHILD:
+            if step.label is None or step.label == label:
+                return True
+    return False
+
+
+def matches_all_elements(alternative: xp.Expr) -> bool:
+    """Does this alternative trivially match *every* element node?
+
+    True exactly for the bare wildcard pattern ``*`` (no anchoring, no
+    predicate, a single unconditional child step): under the document-
+    rooted model every element — including the root element, a child of
+    the document node — is some node's child, so ``//*`` covers all of
+    them without consulting the solver.
+    """
+    return (
+        isinstance(alternative, xp.RelativePath)
+        and isinstance(alternative.path, xp.Step)
+        and alternative.path.axis is xp.Axis.CHILD
+        and alternative.path.label is None
+    )
+
+
+def matches_exactly_element(alternative: xp.Expr, label: str) -> bool:
+    """Does this alternative trivially match every element named ``label``?
+
+    True for the bare name pattern (``label`` with no anchoring and no
+    predicate) and for the bare wildcard: either way ``//label`` is covered
+    syntactically and the coverage check needs no solver run.
+    """
+    if matches_all_elements(alternative):
+        return True
+    return (
+        isinstance(alternative, xp.RelativePath)
+        and isinstance(alternative.path, xp.Step)
+        and alternative.path.axis is xp.Axis.CHILD
+        and alternative.path.label == label
+    )

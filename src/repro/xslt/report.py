@@ -1,0 +1,134 @@
+"""Findings and the audit report (text and JSON renderings).
+
+A :class:`Finding` is one diagnostic at one source location; the
+:class:`AuditReport` aggregates them with the batch-level evidence — how
+many decision problems were planned, how many solver runs they cost, and
+the analyzer's cache statistics, which *prove* the batching claim: one
+``solve_many`` batch, shared type translations, no per-query recompiles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Finding severities, most severe first (drives ``--fail-on`` exit codes).
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation (or an ``info`` skip note) at a
+    source location, with rule-specific evidence under ``detail``."""
+
+    rule: str
+    severity: str
+    message: str
+    file: str
+    line: int
+    column: int
+    detail: dict = field(default_factory=dict, compare=False)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+            "detail": self.detail,
+        }
+
+    def location(self) -> str:
+        return f"{self.file}:{self.line}:{self.column}"
+
+
+def _sort_key(finding: Finding) -> tuple:
+    return (finding.file, finding.line, finding.column, finding.rule, finding.message)
+
+
+@dataclass
+class AuditReport:
+    """The outcome of auditing one stylesheet against one schema."""
+
+    stylesheet: str
+    schema: str
+    files: tuple[str, ...]
+    templates: int
+    #: Template-rule branches (pattern alternatives) analysed.
+    branches: int
+    findings: list[Finding]
+    #: Planned decision problems, per rule (``{"dead-template": 12, ...}``).
+    queries: dict[str, int]
+    #: Batch-level evidence from the single ``solve_many`` call.
+    solver_runs: int = 0
+    cache_hits: int = 0
+    total_seconds: float = 0.0
+    cache_statistics: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.findings.sort(key=_sort_key)
+
+    def counts(self) -> dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        return counts
+
+    def exit_code(self, fail_on: str | None = "error") -> int:
+        """0 clean, 1 when a finding at or above ``fail_on`` exists.
+
+        ``fail_on=None`` always reports success (findings are informational).
+        """
+        if fail_on is None:
+            return 0
+        counts = self.counts()
+        threshold = SEVERITIES.index(fail_on)
+        if any(counts[severity] for severity in SEVERITIES[: threshold + 1]):
+            return 1
+        return 0
+
+    def as_dict(self) -> dict:
+        return {
+            "stylesheet": self.stylesheet,
+            "schema": self.schema,
+            "files": list(self.files),
+            "templates": self.templates,
+            "branches": self.branches,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "counts": self.counts(),
+            "queries": dict(self.queries),
+            "batch": {
+                "queries": sum(self.queries.values()),
+                "solver_runs": self.solver_runs,
+                "cache_hits": self.cache_hits,
+                "total_seconds": round(self.total_seconds, 6),
+            },
+            "cache_statistics": dict(self.cache_statistics),
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.as_dict(), **kwargs)
+
+    def to_text(self) -> str:
+        """Compiler-style listing: ``file:line:col: severity: rule: message``."""
+        lines = []
+        for finding in self.findings:
+            lines.append(
+                f"{finding.location()}: {finding.severity}: "
+                f"{finding.rule}: {finding.message}"
+            )
+        counts = self.counts()
+        lines.append(
+            f"{self.stylesheet}: audited {self.templates} template(s) "
+            f"({self.branches} match branches) against schema "
+            f"'{self.schema}': {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} note(s)"
+        )
+        lines.append(
+            f"{sum(self.queries.values())} decision problem(s) in one batch: "
+            f"{self.solver_runs} solver run(s), {self.cache_hits} cache "
+            f"hit(s), {self.total_seconds:.2f}s"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Tests for the document-rooted type wrapper (:class:`repro.analysis.problems.Rooted`).
+
+``Rooted(T)`` anchors the marked context node at a virtual document node
+above the typed root element, so absolute expressions read as whole-document
+paths (the data model XSLT patterns are defined over).  These tests pin the
+semantics against the small Wikipedia schema, the wire spellings
+(``"rooted:NAME"`` / ``{"rooted": ...}``), and the analyzer plumbing
+(cache keys, label projection, parallel safety).
+"""
+
+import pytest
+
+import repro.logic.syntax as sx
+from repro.analysis.problems import Rooted, label_projection
+from repro.api import Query, StaticAnalyzer, _describe_type, _parallel_safe
+from repro.cli import wire
+from repro.xmltypes.library import builtin_dtd
+from repro.xpath.parser import parse_xpath_cached
+
+ROOTED = Rooted("wikipedia")
+
+
+@pytest.fixture(scope="module")
+def analyzer() -> StaticAnalyzer:
+    return StaticAnalyzer()
+
+
+# ---------------------------------------------------------------------------
+# Semantics against the Wikipedia schema
+# (article -> (meta, (text|redirect)); meta -> (title, history?);
+#  history -> edit+; edit -> (status?, comment?))
+# ---------------------------------------------------------------------------
+
+
+def _solve(analyzer, query):
+    outcome = analyzer.solve(query)
+    assert outcome.ok, outcome.error
+    return outcome
+
+
+def test_root_element_is_the_document_nodes_only_child(analyzer):
+    assert _solve(analyzer, Query.satisfiability("/article", ROOTED)).holds
+    # ...and only the designated root can sit there.
+    assert not _solve(analyzer, Query.satisfiability("/meta", ROOTED)).holds
+    # The document node has exactly one child: no second top-level element.
+    assert not _solve(analyzer, Query.satisfiability("/article/article", ROOTED)).holds
+
+
+def test_descendant_queries_read_whole_document(analyzer):
+    assert _solve(analyzer, Query.satisfiability("//title", ROOTED)).holds
+    assert _solve(
+        analyzer, Query.satisfiability("/article/meta/history/edit/comment", ROOTED)
+    ).holds
+
+
+def test_document_node_pattern_selects_exactly_the_document_node(analyzer):
+    # "/" parses to /self::* — satisfiable only under the rooted reading.
+    assert _solve(analyzer, Query.satisfiability("/self::*", ROOTED)).holds
+    # The document node has no element children named like grandchildren.
+    assert not _solve(analyzer, Query.satisfiability("/self::*/title", ROOTED)).holds
+
+
+def test_emptiness_under_rooted_type(analyzer):
+    # redirect is declared EMPTY: nothing below it.
+    assert _solve(analyzer, Query.emptiness("//redirect/title", ROOTED)).holds
+    assert not _solve(analyzer, Query.emptiness("//edit", ROOTED)).holds
+
+
+def test_containment_under_rooted_types(analyzer):
+    # edit occurs only inside history.
+    assert _solve(
+        analyzer, Query.containment("//edit", "//history/edit", ROOTED, ROOTED)
+    ).holds
+    # title occurs outside history (meta/title), so the reverse framing fails.
+    assert not _solve(
+        analyzer, Query.containment("//title", "//history//title", ROOTED, ROOTED)
+    ).holds
+
+
+def test_coverage_under_rooted_types(analyzer):
+    covered = Query.coverage("//edit", ["//history/edit"], ROOTED, [ROOTED])
+    assert _solve(analyzer, covered).holds
+    gap = Query.coverage("//edit", ["//edit[status]"], ROOTED, [ROOTED])
+    outcome = _solve(analyzer, gap)
+    assert not outcome.holds
+    assert outcome.counterexample is not None  # a status-less edit witness
+
+
+# ---------------------------------------------------------------------------
+# Construction and description
+# ---------------------------------------------------------------------------
+
+
+def test_rooted_rejects_formulas_and_nesting():
+    with pytest.raises(TypeError):
+        Rooted(sx.TRUE)
+    with pytest.raises(TypeError):
+        Rooted(Rooted("wikipedia"))
+
+
+def test_describe_type_spells_rooted_prefix():
+    assert _describe_type(Rooted("xhtml")) == "rooted:xhtml"
+    assert _describe_type(Rooted(None)) == "rooted:any"
+    assert _describe_type(Rooted(builtin_dtd("wikipedia"))) == "rooted:wikipedia"
+
+
+# ---------------------------------------------------------------------------
+# Wire spellings
+# ---------------------------------------------------------------------------
+
+
+def test_wire_rooted_string_prefix():
+    assert wire.resolve_wire_type("rooted:wikipedia") == Rooted("wikipedia")
+    assert wire.resolve_wire_type("rooted:") == Rooted(None)
+
+
+def test_wire_rooted_object_wraps_inline_dtd():
+    resolved = wire.resolve_wire_type(
+        {"rooted": {"dtd": "<!ELEMENT a (b*)><!ELEMENT b EMPTY>", "root": "a"}}
+    )
+    assert isinstance(resolved, Rooted)
+    assert resolved.xml_type.name == "inline"
+
+
+def test_wire_rooted_rejects_nesting_and_extra_keys():
+    with pytest.raises(wire.WireError):
+        wire.resolve_wire_type("rooted:rooted:wikipedia")
+    with pytest.raises(wire.WireError):
+        wire.resolve_wire_type({"rooted": "rooted:wikipedia"})
+    with pytest.raises(wire.WireError):
+        wire.resolve_wire_type({"rooted": "wikipedia", "dtd": "<!ELEMENT a EMPTY>"})
+
+
+def test_wire_query_round_trips_rooted_types():
+    query = wire.query_from_dict(
+        {
+            "kind": "containment",
+            "exprs": ["//edit", "//history/edit"],
+            "types": ["rooted:wikipedia"],
+        }
+    )
+    assert query.types == (Rooted("wikipedia"), Rooted("wikipedia"))
+
+
+# ---------------------------------------------------------------------------
+# Analyzer plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_label_projection_unwraps_rooted():
+    dtd = builtin_dtd("wikipedia")
+    exprs = [parse_xpath_cached("//history/edit")]
+    # Mixing Rooted(T) and T is still one distinct schema: pruning applies.
+    labels = label_projection(exprs, [Rooted(dtd), dtd])
+    assert labels is not None
+    assert set(labels) >= {"history", "edit"}
+
+
+def test_rooted_queries_are_parallel_safe():
+    assert _parallel_safe(Query.satisfiability("/article", ROOTED))
+    assert _parallel_safe(
+        Query.satisfiability("/article", Rooted(builtin_dtd("wikipedia")))
+    )
+
+
+def test_type_cache_key_distinguishes_rooted_from_bare():
+    analyzer = StaticAnalyzer()
+    assert analyzer._type_key(Rooted("wikipedia")) != analyzer._type_key("wikipedia")
+    assert analyzer._type_key(Rooted("wikipedia")) == (
+        "rooted",
+        analyzer._type_key("wikipedia"),
+    )
+
+
+def test_worker_pool_agrees_with_in_process_verdicts(analyzer):
+    queries = [
+        Query.satisfiability("/article", ROOTED),
+        Query.emptiness("//redirect/title", ROOTED),
+    ]
+    expected = [analyzer.solve(query).holds for query in queries]
+    fresh = StaticAnalyzer()
+    batch = fresh.solve_many(queries, workers=2)
+    assert [outcome.holds for outcome in batch.outcomes] == expected

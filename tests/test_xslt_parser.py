@@ -1,0 +1,240 @@
+"""Tests for the XSLT stylesheet parser (:mod:`repro.xslt.parser`)."""
+
+import textwrap
+
+import pytest
+
+from repro.xslt.parser import StylesheetError, load_stylesheet
+
+HEADER = '<?xml version="1.0"?>\n'
+OPEN = '<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">\n'
+CLOSE = "</xsl:stylesheet>\n"
+
+
+def write(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(HEADER + OPEN + textwrap.dedent(body) + CLOSE, encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Templates: attributes and provenance
+# ---------------------------------------------------------------------------
+
+
+def test_template_attributes_and_positions(tmp_path):
+    path = write(
+        tmp_path,
+        "sheet.xsl",
+        """\
+        <xsl:template match="a/b" mode="toc" priority="1.5">
+          <xsl:value-of select="c"/>
+        </xsl:template>
+        <xsl:template name="helper"/>
+        """,
+    )
+    sheet = load_stylesheet(path)
+    assert sheet.path == str(path)
+    assert sheet.files == (str(path),)
+    matched, named = sheet.templates
+    assert matched.match == "a/b"
+    assert matched.mode == "toc"
+    assert matched.priority == 1.5
+    assert matched.file == str(path)
+    assert matched.line == 3  # after the declaration and stylesheet lines
+    assert matched.column == 1
+    assert named.match is None and named.name == "helper"
+    assert named.priority is None
+
+
+def test_expressions_record_role_source_and_position(tmp_path):
+    path = write(
+        tmp_path,
+        "sheet.xsl",
+        """\
+        <xsl:template match="a">
+          <xsl:apply-templates select="b"/>
+          <xsl:if test="c">x</xsl:if>
+        </xsl:template>
+        """,
+    )
+    (template,) = load_stylesheet(path).templates
+    select, test = template.expressions
+    assert (select.role, select.source, select.text) == (
+        "select",
+        "xsl:apply-templates",
+        "b",
+    )
+    assert (test.role, test.source, test.text) == ("test", "xsl:if", "c")
+    assert select.line == 4 and select.column == 3
+    assert [e.index for e in template.expressions] == [0, 1]
+
+
+def test_apply_templates_without_select_records_nothing(tmp_path):
+    path = write(
+        tmp_path,
+        "sheet.xsl",
+        """\
+        <xsl:template match="a">
+          <xsl:apply-templates/>
+        </xsl:template>
+        """,
+    )
+    (template,) = load_stylesheet(path).templates
+    assert template.expressions == ()
+
+
+# ---------------------------------------------------------------------------
+# Nesting: ancestors and the context chain
+# ---------------------------------------------------------------------------
+
+
+def test_for_each_scopes_build_the_context_chain(tmp_path):
+    path = write(
+        tmp_path,
+        "sheet.xsl",
+        """\
+        <xsl:template match="a">
+          <xsl:for-each select="b">
+            <xsl:if test="c">
+              <xsl:value-of select="d"/>
+            </xsl:if>
+          </xsl:for-each>
+        </xsl:template>
+        """,
+    )
+    (template,) = load_stylesheet(path).templates
+    for_each, test, value_of = template.expressions
+    # The for-each select is evaluated before its scope opens.
+    assert for_each.ancestors == () and for_each.context_chain == ()
+    # The test sits inside the for-each scope...
+    assert test.ancestors == (for_each.index,)
+    assert test.context_chain == (for_each.index,)
+    # ...and the value-of inside both, but only for-each moves the context.
+    assert value_of.ancestors == (for_each.index, test.index)
+    assert value_of.context_chain == (for_each.index,)
+
+
+def test_nested_for_each_chain_is_innermost_last(tmp_path):
+    path = write(
+        tmp_path,
+        "sheet.xsl",
+        """\
+        <xsl:template match="a">
+          <xsl:for-each select="b">
+            <xsl:for-each select="c">
+              <xsl:value-of select="d"/>
+            </xsl:for-each>
+          </xsl:for-each>
+        </xsl:template>
+        """,
+    )
+    (template,) = load_stylesheet(path).templates
+    outer, inner, value_of = template.expressions
+    assert inner.context_chain == (outer.index,)
+    assert value_of.context_chain == (outer.index, inner.index)
+
+
+# ---------------------------------------------------------------------------
+# Imports and includes
+# ---------------------------------------------------------------------------
+
+
+def test_import_precedence_and_include_expansion(tmp_path):
+    write(tmp_path, "base.xsl", '<xsl:template match="base">b</xsl:template>\n')
+    write(tmp_path, "inc.xsl", '<xsl:template match="inc">i</xsl:template>\n')
+    main = write(
+        tmp_path,
+        "main.xsl",
+        """\
+        <xsl:import href="base.xsl"/>
+        <xsl:include href="inc.xsl"/>
+        <xsl:template match="main">m</xsl:template>
+        """,
+    )
+    sheet = load_stylesheet(main)
+    by_match = {t.match: t for t in sheet.templates}
+    # Imported templates come first (post-order) at lower precedence.
+    assert [t.match for t in sheet.templates] == ["base", "inc", "main"]
+    assert by_match["base"].precedence < by_match["main"].precedence
+    # Included templates take the including file's precedence.
+    assert by_match["inc"].precedence == by_match["main"].precedence
+    assert by_match["inc"].file == str(tmp_path / "inc.xsl")
+    assert len(sheet.files) == 3
+    # Document order is a global tiebreak across the load.
+    orders = [t.order for t in sheet.templates]
+    assert orders == sorted(orders)
+
+
+def test_later_import_outranks_earlier(tmp_path):
+    write(tmp_path, "first.xsl", '<xsl:template match="x">1</xsl:template>\n')
+    write(tmp_path, "second.xsl", '<xsl:template match="x">2</xsl:template>\n')
+    main = write(
+        tmp_path,
+        "main.xsl",
+        """\
+        <xsl:import href="first.xsl"/>
+        <xsl:import href="second.xsl"/>
+        """,
+    )
+    first, second = load_stylesheet(main).templates
+    assert first.file.endswith("first.xsl")
+    assert second.precedence > first.precedence
+
+
+def test_circular_import_is_an_error(tmp_path):
+    write(tmp_path, "a.xsl", '<xsl:include href="b.xsl"/>\n')
+    write(tmp_path, "b.xsl", '<xsl:import href="a.xsl"/>\n')
+    with pytest.raises(StylesheetError, match="circular"):
+        load_stylesheet(tmp_path / "a.xsl")
+
+
+def test_missing_href_target_is_an_error_with_position(tmp_path):
+    main = write(tmp_path, "main.xsl", '<xsl:import href="nope.xsl"/>\n')
+    with pytest.raises(StylesheetError, match="nope.xsl") as excinfo:
+        load_stylesheet(main)
+    assert excinfo.value.file == str(main)
+    assert excinfo.value.line == 3
+
+
+# ---------------------------------------------------------------------------
+# Malformed stylesheets
+# ---------------------------------------------------------------------------
+
+
+def test_missing_stylesheet_file(tmp_path):
+    with pytest.raises(StylesheetError, match="not found"):
+        load_stylesheet(tmp_path / "ghost.xsl")
+
+
+def test_not_well_formed_xml(tmp_path):
+    path = tmp_path / "broken.xsl"
+    path.write_text(HEADER + OPEN + "<oops>", encoding="utf-8")
+    with pytest.raises(StylesheetError, match="not well-formed"):
+        load_stylesheet(path)
+
+
+def test_non_stylesheet_document_element(tmp_path):
+    path = tmp_path / "plain.xsl"
+    path.write_text("<html/>", encoding="utf-8")
+    with pytest.raises(StylesheetError, match="xsl:stylesheet or xsl:transform"):
+        load_stylesheet(path)
+
+
+@pytest.mark.parametrize(
+    "body, message",
+    [
+        ("<xsl:template>x</xsl:template>\n", "match or name"),
+        ('<xsl:template match="a" priority="high"/>\n', "priority"),
+        ('<xsl:import wrong="x"/>\n', "href"),
+        (
+            '<xsl:template match="a"><xsl:for-each>y</xsl:for-each></xsl:template>\n',
+            "select",
+        ),
+        ('<xsl:template match="a"><xsl:if>y</xsl:if></xsl:template>\n', "test"),
+    ],
+)
+def test_invalid_constructs_raise_targeted_errors(tmp_path, body, message):
+    path = write(tmp_path, "bad.xsl", body)
+    with pytest.raises(StylesheetError, match=message):
+        load_stylesheet(path)

@@ -1,0 +1,212 @@
+"""Tests for XSLT pattern compilation (:mod:`repro.xslt.patterns`)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.xpath import ast as xp
+from repro.xpath.parser import parse_pattern, parse_xpath_cached
+from repro.xslt.patterns import (
+    ComposeError,
+    _last_steps,
+    compose_context,
+    default_priority,
+    match_expression,
+    matches_all_elements,
+    matches_exactly_element,
+    may_match_element,
+    outranks,
+    parse_test,
+    pattern_alternatives,
+)
+
+
+def alternative(text: str) -> xp.Expr:
+    (single,) = pattern_alternatives(text)
+    return single
+
+
+# ---------------------------------------------------------------------------
+# Pattern grammar: alternatives
+# ---------------------------------------------------------------------------
+
+
+def test_top_level_alternatives_split_in_order():
+    alts = pattern_alternatives("a | b/c | //d")
+    assert [str(a) for a in alts] == [
+        "child::a",
+        "child::b/child::c",
+        "/desc-or-self::*/child::d",
+    ]
+
+
+def test_parenthesised_unions_stay_inside_their_alternative():
+    alts = pattern_alternatives("html/(head | body) | hr")
+    assert len(alts) == 2
+    assert "child::head | child::body" in str(alts[0])
+
+
+@pytest.mark.parametrize(
+    "text, needle",
+    [
+        ("id('x')", "identity"),
+        ("key('k', 'v')", "identity"),
+        ("ancestor::a", "axis"),
+        ("a/..", ".."),
+        ("", "empty pattern"),
+    ],
+)
+def test_pattern_only_constructs_raise_targeted_errors(text, needle):
+    with pytest.raises(ParseError) as excinfo:
+        pattern_alternatives(text)
+    assert needle in str(excinfo.value)
+    assert excinfo.value.position is not None
+
+
+def test_identity_function_error_points_at_the_function_name():
+    with pytest.raises(ParseError) as excinfo:
+        pattern_alternatives("article/id('x')")
+    assert excinfo.value.position == len("article/")
+
+
+# ---------------------------------------------------------------------------
+# Match expressions (under the document-rooted reading)
+# ---------------------------------------------------------------------------
+
+
+def test_relative_pattern_gets_the_descendant_anchor():
+    expr = match_expression(alternative("a/b"))
+    assert isinstance(expr, xp.AbsolutePath)
+    assert str(expr) == "/desc-or-self::*/child::a/child::b"
+
+
+def test_absolute_pattern_is_itself():
+    alt = alternative("/html/body")
+    assert match_expression(alt) is alt
+
+
+def test_document_node_pattern_is_rooted_self():
+    assert str(match_expression(alternative("/"))) == "/self::*"
+
+
+# ---------------------------------------------------------------------------
+# Default priorities and conflict resolution (XSLT 1.0 §5.5)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "pattern, priority",
+    [
+        ("foo", 0.0),
+        ("*", -0.5),
+        ("@href", 0.0),
+        ("@*", -0.5),
+        ("a/b", 0.5),
+        ("/", 0.5),
+        ("a[b]", 0.5),
+        ("//a", 0.5),
+    ],
+)
+def test_default_priorities(pattern, priority):
+    assert default_priority(alternative(pattern)) == priority
+
+
+def test_outranks_prefers_precedence_then_priority():
+    assert outranks((2, -0.5), (1, 9.0))  # import precedence dominates
+    assert outranks((1, 1.0), (1, 0.0))
+    assert not outranks((1, 0.0), (1, 1.0))
+    # Equal rank is a conflict, not a shadow: neither outranks the other.
+    assert not outranks((1, 0.5), (1, 0.5))
+
+
+# ---------------------------------------------------------------------------
+# Context composition
+# ---------------------------------------------------------------------------
+
+
+def compose(context_text: str, expr_text: str) -> str:
+    context = parse_xpath_cached(context_text)
+    return str(compose_context(context, parse_xpath_cached(expr_text)))
+
+
+def test_compose_concatenates_paths():
+    assert compose("//a", "b/c") == "/desc-or-self::*/child::a/child::b/child::c"
+
+
+def test_compose_ignores_context_for_absolute_expressions():
+    assert compose("//a", "/html/head") == "/child::html/child::head"
+
+
+def test_compose_distributes_over_expression_unions():
+    assert compose("//a", "b | c") == (
+        "/desc-or-self::*/child::a/child::b | /desc-or-self::*/child::a/child::c"
+    )
+
+
+def test_compose_distributes_over_context_unions():
+    context = xp.ExprUnion(parse_xpath_cached("//a"), parse_xpath_cached("//b"))
+    composed = compose_context(context, parse_xpath_cached("c"))
+    assert str(composed) == (
+        "/desc-or-self::*/child::a/child::c | /desc-or-self::*/child::b/child::c"
+    )
+
+
+def test_compose_from_attribute_context_is_an_error():
+    with pytest.raises(ComposeError, match="attribute"):
+        compose_context(parse_xpath_cached("//a/@href"), parse_xpath_cached("b"))
+
+
+# ---------------------------------------------------------------------------
+# Test-expression parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_test_wraps_the_qualifier_grammar():
+    expr = parse_test("b and not(c)")
+    assert str(expr) == "self::*[child::b and not(child::c)]"
+    assert str(parse_test("@href")) == "self::*[@href]"
+
+
+def test_parse_test_shifts_error_positions_onto_the_test_text():
+    text = "a and position()"
+    with pytest.raises(ParseError) as excinfo:
+        parse_test(text)
+    assert excinfo.value.position == text.index("position")
+    assert 0 <= excinfo.value.position <= len(text)
+    # The original wrapped-text position does not leak into the message.
+    assert "self::*" not in str(excinfo.value)
+
+
+def test_parse_test_position_is_clamped_to_the_text():
+    with pytest.raises(ParseError) as excinfo:
+        parse_test("a[")
+    assert 0 <= excinfo.value.position <= len("a[")
+
+
+# ---------------------------------------------------------------------------
+# Syntactic prescreens
+# ---------------------------------------------------------------------------
+
+
+def test_last_steps_traverse_compositions_qualifiers_and_unions():
+    pattern = parse_pattern("a/(b | c[d])")
+    steps = _last_steps(pattern.path)
+    labels = {step.label for step in steps}
+    assert labels == {"b", "c"}
+
+
+def test_may_match_element():
+    assert may_match_element(alternative("a/b"), "b")
+    assert not may_match_element(alternative("a/b"), "a")
+    assert may_match_element(alternative("*"), "anything")
+    assert not may_match_element(alternative("@href"), "href")
+    assert not may_match_element(alternative("/"), "html")
+
+
+def test_matches_all_and_exactly():
+    assert matches_all_elements(alternative("*"))
+    assert not matches_all_elements(alternative("a"))
+    assert not matches_all_elements(alternative("//*"))  # anchored: structured
+    assert matches_exactly_element(alternative("li"), "li")
+    assert matches_exactly_element(alternative("*"), "li")
+    assert not matches_exactly_element(alternative("ul/li"), "li")
+    assert not matches_exactly_element(alternative("li[a]"), "li")
