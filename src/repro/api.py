@@ -71,6 +71,7 @@ CLI wire the same wrapper is spelled ``"rooted:xhtml"``.)
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -84,9 +85,11 @@ from repro.analysis.problems import (
     type_inclusion_attributes,
 )
 from repro.cache import DiskSolveCache, SolveRecord
-from repro.core.errors import ReproError, UnsupportedTypeError
+from repro.core import faults
+from repro.core.errors import BudgetExceeded, ReproError, UnsupportedTypeError
 from repro.logic import syntax as sx
 from repro.logic.negation import negate
+from repro.solver.governor import Budget
 from repro.solver.symbolic import SymbolicSolver
 from repro.trees.unranked import serialize_tree
 from repro.xmltypes.ast import BinaryTypeGrammar
@@ -235,6 +238,14 @@ def _describe_type(xml_type: object) -> str | None:
     return type(xml_type).__name__
 
 
+#: The three verdict statuses an :class:`AnalysisOutcome` can carry.
+#: ``"definite"`` — ``holds``/``satisfiable`` are valid booleans;
+#: ``"unknown"`` — a resource budget ran out before a verdict (``holds`` and
+#: ``satisfiable`` are ``None``, ``budget_reason`` says which bound tripped);
+#: ``"error"`` — the input itself was bad (``error``/``error_kind`` are set).
+VERDICT_STATUSES = ("definite", "unknown", "error")
+
+
 @dataclass
 class AnalysisOutcome:
     """Outcome of one :class:`Query`, as structured JSON-able data.
@@ -244,12 +255,19 @@ class AnalysisOutcome:
     "negative" problems: containment holds iff its formula is unsatisfiable).
     ``from_cache`` is True when the verdict was answered from the analyzer's
     solve cache without running the solver.
+
+    Outcomes are three-valued (see :data:`VERDICT_STATUSES`): a resource
+    budget running out produces a first-class *unknown* outcome — not an
+    error — with ``verdict_status == "unknown"``, ``holds is None`` and the
+    structured ``budget_reason`` (``"deadline"``, ``"steps"``,
+    ``"iterations"``, ``"lean"``, ``"worker-crash"``).  Consumers acting on
+    a verdict must gate on :attr:`definite`, never on ``holds`` alone.
     """
 
     query: Query
     problem: str
-    holds: bool
-    satisfiable: bool
+    holds: bool | None
+    satisfiable: bool | None
     from_cache: bool
     solve_seconds: float
     statistics: dict
@@ -261,13 +279,32 @@ class AnalysisOutcome:
     #: ``"KeyError"``, ...) and its message.  ``None`` on success.
     error_kind: str | None = None
     error: str | None = None
+    #: One of :data:`VERDICT_STATUSES`.
+    verdict_status: str = "definite"
+    #: Which budget bound tripped (:data:`repro.core.errors.BUDGET_REASONS`);
+    #: ``None`` unless ``verdict_status == "unknown"``.
+    budget_reason: str | None = None
     #: For equivalence queries: the two directed containment outcomes.
     parts: list["AnalysisOutcome"] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        """True when the query was analysed (its ``holds`` verdict is valid)."""
+        """True when the query was *analysed* — no structured input error.
+
+        Unknown outcomes are ``ok`` (the input was fine; the budget was not):
+        check :attr:`definite` before trusting ``holds``.
+        """
         return self.error is None
+
+    @property
+    def definite(self) -> bool:
+        """True when ``holds``/``satisfiable`` carry a valid verdict."""
+        return self.verdict_status == "definite"
+
+    @property
+    def unknown(self) -> bool:
+        """True when a resource budget ran out before a verdict."""
+        return self.verdict_status == "unknown"
 
     @property
     def time_ms(self) -> float:
@@ -278,8 +315,10 @@ class AnalysisOutcome:
         result = {
             "query": self.query.as_dict(),
             "problem": self.problem,
+            "verdict_status": self.verdict_status,
             "holds": self.holds,
             "satisfiable": self.satisfiable,
+            "budget_reason": self.budget_reason,
             "from_cache": self.from_cache,
             "cache": self.cache,
             "solve_seconds": round(self.solve_seconds, 6),
@@ -315,6 +354,11 @@ class BatchReport:
         """Number of outcomes that are structured errors (``not outcome.ok``)."""
         return sum(1 for outcome in self.outcomes if not outcome.ok)
 
+    @property
+    def unknowns(self) -> int:
+        """Number of outcomes whose budget ran out (``verdict_status=="unknown"``)."""
+        return sum(1 for outcome in self.outcomes if outcome.unknown)
+
     def as_dict(self) -> dict:
         return {
             "outcomes": [outcome.as_dict() for outcome in self.outcomes],
@@ -324,6 +368,7 @@ class BatchReport:
             "disk_cache_hits": self.disk_cache_hits,
             "workers": self.workers,
             "errors": self.errors,
+            "unknowns": self.unknowns,
         }
 
     def to_json(self, **kwargs) -> str:
@@ -346,15 +391,42 @@ def _pool_initializer(options: dict) -> None:
     _WORKER_ANALYZER = StaticAnalyzer(**options)
 
 
-def _pool_solve(item: "tuple[int, Query]") -> tuple:
-    """Solve one indexed query in a worker; returns counters for aggregation."""
-    index, query = item
+def _pool_solve(item: tuple) -> tuple:
+    """Solve one indexed query in a worker; returns counters for aggregation.
+
+    ``item`` is ``(index, query)`` optionally followed by a per-query
+    :class:`~repro.solver.governor.Budget` override and a *marker directory*.
+    While this function runs it keeps ``<marker_dir>/<index>.running`` on
+    disk; a worker dying mid-solve (OOM kill, injected crash) leaves the
+    marker behind, which is how :meth:`StaticAnalyzer._solve_many_parallel`
+    attributes a ``BrokenProcessPool`` to the query that poisoned the pool.
+    The per-query wall-clock timeout is the budget's deadline, enforced
+    cooperatively *inside* the worker by the resource governor.
+    """
+    index, query = item[0], item[1]
+    budget = item[2] if len(item) > 2 else None
+    marker_dir = item[3] if len(item) > 3 else None
+    marker = None
+    if marker_dir is not None:
+        marker = os.path.join(marker_dir, f"{index}.running")
+        try:
+            with open(marker, "w", encoding="utf-8"):
+                pass
+        except OSError:
+            marker = None
+    if faults.should_fire("worker-crash", " ".join(query.exprs)):
+        os._exit(137)  # simulate an OOM kill: no cleanup, no marker removal
     analyzer = _WORKER_ANALYZER
     runs = analyzer.solver_runs
     hits = analyzer.solve_cache_hits
     disk_hits = analyzer.disk_cache_hits
     disk_writes = analyzer.disk_cache_writes
-    outcome = analyzer.solve(query)
+    outcome = analyzer.solve(query, budget=budget)
+    if marker is not None:
+        try:
+            os.unlink(marker)
+        except OSError:
+            pass
     return (
         index,
         outcome,
@@ -410,7 +482,23 @@ class StaticAnalyzer:
     disk cache is content-addressed by the canonical formula (alpha-invariant
     across processes) and safe under concurrent writers; see
     :mod:`repro.cache`.
+
+    **Resource governance.**  ``budget`` bounds every solve (see
+    :class:`repro.solver.governor.Budget`); ``max_lean`` is shorthand for a
+    Lean-size bound — the analyzer then refuses to *compile* an
+    exponentially-sized problem (Lemma 6.7 prices it at ``2^O(lean)``) and
+    returns an ``unknown`` outcome up front.  Budget exhaustion never raises:
+    it produces a first-class ``unknown`` outcome with a structured
+    ``budget_reason``.  With ``degrade=True`` a budget-exhausted solve falls
+    back to the bounded ψ-type :class:`repro.solver.explicit.ExplicitSolver`
+    when the problem is small enough (``≤ DEGRADE_MAX_TYPES`` estimated
+    ψ-types), so small-but-tightly-budgeted queries still get a definite
+    verdict.  Only definite verdicts ever enter a cache layer.
     """
+
+    #: Estimated-ψ-type ceiling under which graceful degradation engages
+    #: (mirrors the fuzzer's explicit-oracle gate, ``Bounds.explicit_types``).
+    DEGRADE_MAX_TYPES = 2048
 
     def __init__(
         self,
@@ -421,6 +509,9 @@ class StaticAnalyzer:
         cache_dir: str | None = None,
         prune_labels: bool = True,
         backend: str | None = None,
+        budget: Budget | None = None,
+        max_lean: int | None = None,
+        degrade: bool = False,
     ):
         self.early_quantification = early_quantification
         self.monolithic_relation = monolithic_relation
@@ -431,6 +522,14 @@ class StaticAnalyzer:
         #: ``None`` to follow ``REPRO_BDD_BACKEND`` / the default).  Verdicts
         #: are backend-independent, so cache layers need no qualification.
         self.backend = backend
+        #: Default resource budget for every solve (``None`` = unlimited);
+        #: per-call overrides merge on top (see :meth:`solve`).
+        self.budget = budget
+        if max_lean is not None:
+            base = self.budget or Budget()
+            if base.max_lean is None:
+                self.budget = base.merged_with(Budget(max_lean=max_lean))
+        self.degrade = degrade
         self.disk_cache = (
             None
             if cache_dir is None
@@ -584,6 +683,7 @@ class StaticAnalyzer:
         self,
         formula: sx.Formula,
         lift_context: tuple[DTD, tuple[str, ...]] | None = None,
+        budget: Budget | None = None,
     ) -> tuple[SolveRecord, str | None]:
         """Solve a formula, answering from a cache layer when possible.
 
@@ -593,6 +693,12 @@ class StaticAnalyzer:
         witness's collapsed labels against (see :func:`repro.xmltypes.
         membership.lift_wildcards`); lifting is deterministic, so cached
         records are already lifted.
+
+        ``budget`` governs the solver run; exhaustion raises
+        :class:`BudgetExceeded` *without* touching any cache layer — an
+        unknown is a statement about the budget, not about the formula, so
+        it must never shadow a definite verdict (cached answers, being free,
+        are immune to budgets by construction).
         """
         record = self._solve_cache.get(formula)
         if record is not None:
@@ -611,6 +717,7 @@ class StaticAnalyzer:
             interleaved_order=self.interleaved_order,
             track_marks=self.track_marks,
             backend=self.backend,
+            budget=budget,
         )
         result = solver.solve()
         self.solver_runs += 1
@@ -629,6 +736,61 @@ class StaticAnalyzer:
             self.disk_cache.put(formula, record)
             self.disk_cache_writes += 1
         return record, None
+
+    def _degraded_record(
+        self,
+        formula: sx.Formula,
+        lift_context: tuple[DTD, tuple[str, ...]] | None,
+    ) -> SolveRecord | None:
+        """Definite verdict from the bounded ψ-type solver, or ``None``.
+
+        The degradation ladder's second rung: when the budgeted symbolic
+        solve ran out, the eager algorithm of Figure 16 may still decide the
+        problem — its cost is governed by the ψ-type count, not by how hard
+        the BDD fixpoint happened to be under this budget.  Engages only
+        below :data:`DEGRADE_MAX_TYPES` estimated types.  A verdict from
+        here is sound and complete, so it enters the caches like any other.
+        """
+        from repro.core.errors import SolverLimitError
+        from repro.solver.explicit import ExplicitSolver
+        from repro.trees.binary import binary_forest_to_unranked
+
+        started = time.perf_counter()
+        solver = ExplicitSolver(formula, max_types=self.DEGRADE_MAX_TYPES)
+        if solver.estimated_types() > self.DEGRADE_MAX_TYPES:
+            return None
+        try:
+            result = solver.solve()
+        except SolverLimitError:
+            return None
+        self.solver_runs += 1
+        document = None
+        if result.model is not None:
+            document = binary_forest_to_unranked(result.model)[0]
+            if lift_context is not None:
+                lift_dtd, kept_labels = lift_context
+                document = (
+                    lift_wildcards(lift_dtd, document, exclude=kept_labels) or document
+                )
+        elapsed = time.perf_counter() - started
+        record = SolveRecord(
+            satisfiable=result.satisfiable,
+            counterexample=None if document is None else serialize_tree(document),
+            statistics={
+                "degraded": True,
+                "lean_size": len(result.lean),
+                "iterations": result.iterations,
+                "entry_count": result.entry_count,
+                "type_count": result.type_count,
+                "solve_seconds": round(elapsed, 6),
+            },
+            solve_seconds=elapsed,
+        )
+        self._solve_cache[formula] = record
+        if self.disk_cache is not None:
+            self.disk_cache.put(formula, record)
+            self.disk_cache_writes += 1
+        return record
 
     def clear_caches(self) -> None:
         """Drop every in-memory cached translation and solver verdict.
@@ -655,7 +817,7 @@ class StaticAnalyzer:
 
     # -- single queries ----------------------------------------------------------
 
-    def solve(self, query: Query) -> AnalysisOutcome:
+    def solve(self, query: Query, budget: Budget | None = None) -> AnalysisOutcome:
         """Answer one query (cached); see :class:`Query` for the kinds.
 
         Input-shaped failures — a malformed expression, an unknown built-in
@@ -663,15 +825,44 @@ class StaticAnalyzer:
         error outcomes (``outcome.ok`` is False, ``outcome.error`` carries
         the message) rather than raised, so one bad query never aborts a
         :meth:`solve_many` batch.  Programming errors still raise.
+
+        ``budget`` tightens the analyzer-wide budget for this call only (the
+        per-call limits win where both are set).  A budgeted solve that runs
+        out returns an *unknown* outcome — ``verdict_status == "unknown"``,
+        ``holds``/``satisfiable`` both ``None``, ``budget_reason`` naming the
+        exhausted resource — unless ``degrade=True`` and the bounded explicit
+        solver can still decide the instance.
         """
         if query.kind == "equivalence":
-            return self._equivalence(query)
+            return self._equivalence(query, budget)
+        effective = self._effective_budget(budget)
         try:
             formula, problem, positive = self._reduce(query)
-            record, source = self._solve(formula, self._lift_context(query))
+        except ANALYSIS_ERRORS as exc:
+            return self._error_outcome(query, exc)
+        lift_context = self._lift_context(query)
+        try:
+            record, source = self._solve(formula, lift_context, effective)
+        except BudgetExceeded as exc:
+            # Must precede the ANALYSIS_ERRORS arm: BudgetExceeded is a
+            # ReproError, and swallowing it there would misreport resource
+            # exhaustion as a definite input failure.
+            if self.degrade and exc.reason != "worker-crash":
+                record = self._degraded_record(formula, lift_context)
+                if record is not None:
+                    return self._outcome(query, problem, record, None, positive)
+            return self._unknown_outcome(query, problem, exc)
         except ANALYSIS_ERRORS as exc:
             return self._error_outcome(query, exc)
         return self._outcome(query, problem, record, source, positive)
+
+    def _effective_budget(self, budget: Budget | None) -> Budget | None:
+        """The analyzer-wide budget tightened by a per-call override."""
+        if budget is None:
+            return self.budget
+        if self.budget is None:
+            return budget
+        return self.budget.merged_with(budget)
 
     def _lift_context(self, query: Query) -> tuple[DTD, tuple[str, ...]] | None:
         """The schema and kept alphabet to lift pruned witnesses against.
@@ -704,7 +895,39 @@ class StaticAnalyzer:
             counterexample=None,
             error_kind=type(exc).__name__,
             error=str(exc),
+            verdict_status="error",
         )
+
+    def _unknown_outcome(
+        self, query: Query, problem: str, exc: BudgetExceeded
+    ) -> AnalysisOutcome:
+        """A structured three-valued outcome for a budget-exhausted solve.
+
+        Unknowns are *ok* (nothing was malformed) but not *definite*;
+        consumers that act on ``holds`` must gate on ``outcome.definite``.
+        Nothing is cached: an unknown describes the budget, not the formula.
+        """
+        return AnalysisOutcome(
+            query=query,
+            problem=problem,
+            holds=None,
+            satisfiable=None,
+            from_cache=False,
+            solve_seconds=0.0,
+            statistics={"budget": exc.as_dict()},
+            counterexample=None,
+            verdict_status="unknown",
+            budget_reason=exc.reason,
+        )
+
+    def _crash_outcome(self, query: Query) -> AnalysisOutcome:
+        """Unknown outcome for a query whose worker died twice (quarantined)."""
+        exc = BudgetExceeded(
+            "worker-crash",
+            "worker process died while solving this query "
+            "(in the shared pool and again in an isolated retry)",
+        )
+        return self._unknown_outcome(query, f"{query.kind} (unknown)", exc)
 
     def _reduce(self, query: Query) -> tuple[sx.Formula, str, bool]:
         """Reduce a (non-equivalence) query to one satisfiability question.
@@ -774,11 +997,13 @@ class StaticAnalyzer:
             return formula, f"type inclusion of {exprs[0]}", False
         raise ValueError(f"unknown query kind {kind!r}")  # pragma: no cover
 
-    def _equivalence(self, query: Query) -> AnalysisOutcome:
+    def _equivalence(
+        self, query: Query, budget: Budget | None = None
+    ) -> AnalysisOutcome:
         expr1, expr2 = query.exprs
         type1, type2 = query.types
-        forward = self.solve(Query.containment(expr1, expr2, type1, type2))
-        backward = self.solve(Query.containment(expr2, expr1, type2, type1))
+        forward = self.solve(Query.containment(expr1, expr2, type1, type2), budget)
+        backward = self.solve(Query.containment(expr2, expr1, type2, type1), budget)
         if not forward.ok or not backward.ok:
             broken = forward if not forward.ok else backward
             return AnalysisOutcome(
@@ -791,6 +1016,44 @@ class StaticAnalyzer:
                 statistics={},
                 error_kind=broken.error_kind,
                 error=broken.error,
+                verdict_status="error",
+                parts=[forward, backward],
+            )
+        if not forward.definite or not backward.definite:
+            # A definite failed containment already refutes the equivalence,
+            # so an unknown in the *other* direction does not matter.
+            refuted = next(
+                (p for p in (forward, backward) if p.definite and not p.holds), None
+            )
+            if refuted is None:
+                vague = forward if not forward.definite else backward
+                return AnalysisOutcome(
+                    query=query,
+                    problem=f"equivalence {expr1} ≡ {expr2}",
+                    holds=None,
+                    satisfiable=None,
+                    from_cache=False,
+                    solve_seconds=forward.solve_seconds + backward.solve_seconds,
+                    statistics={
+                        "forward": forward.statistics,
+                        "backward": backward.statistics,
+                    },
+                    verdict_status="unknown",
+                    budget_reason=vague.budget_reason,
+                    parts=[forward, backward],
+                )
+            return AnalysisOutcome(
+                query=query,
+                problem=f"equivalence {expr1} ≡ {expr2}",
+                holds=False,
+                satisfiable=refuted.satisfiable,
+                from_cache=refuted.from_cache,
+                solve_seconds=forward.solve_seconds + backward.solve_seconds,
+                statistics={
+                    "forward": forward.statistics,
+                    "backward": backward.statistics,
+                },
+                counterexample=refuted.counterexample,
                 parts=[forward, backward],
             )
         failed = forward if not forward.holds else backward
@@ -842,9 +1105,16 @@ class StaticAnalyzer:
             "cache_dir": None if self.disk_cache is None else str(self.disk_cache.directory),
             "prune_labels": self.prune_labels,
             "backend": self.backend,
+            "budget": self.budget,
+            "degrade": self.degrade,
         }
 
-    def solve_many(self, queries: Iterable[Query], workers: int = 1) -> BatchReport:
+    def solve_many(
+        self,
+        queries: Iterable[Query],
+        workers: int = 1,
+        budget: Budget | None = None,
+    ) -> BatchReport:
         """Answer a batch of queries, amortising translations and solves.
 
         Queries over the same schema share its type translation; queries that
@@ -861,6 +1131,14 @@ class StaticAnalyzer:
         and writes are aggregated into this analyzer's counters).  Queries
         whose type constraints cannot cross a process boundary (raw Lµ
         formulas) are transparently solved in the parent.
+
+        ``budget`` applies per query (tightening the analyzer-wide budget),
+        and with ``workers > 1`` it doubles as the per-query wall-clock cap
+        inside each worker.  The batch survives worker crashes: the pool is
+        respawned, surviving queries are retried with capped backoff, and a
+        query whose worker dies twice (once in the shared pool, once in an
+        isolated single-worker retry) is quarantined as
+        ``unknown("worker-crash")`` — every other verdict is unaffected.
         """
         queries = list(queries)
         if workers <= 1 or len(queries) <= 1:
@@ -868,7 +1146,7 @@ class StaticAnalyzer:
             hits_before = self.solve_cache_hits
             disk_before = self.disk_cache_hits
             started = time.perf_counter()
-            outcomes = [self.solve(query) for query in queries]
+            outcomes = [self.solve(query, budget) for query in queries]
             return BatchReport(
                 outcomes=outcomes,
                 total_seconds=time.perf_counter() - started,
@@ -876,7 +1154,7 @@ class StaticAnalyzer:
                 cache_hits=self.solve_cache_hits - hits_before,
                 disk_cache_hits=self.disk_cache_hits - disk_before,
             )
-        return self._solve_many_parallel(queries, workers)
+        return self._solve_many_parallel(queries, workers, budget)
 
     def _dedupe_key(self, query: Query) -> tuple:
         """A hashable identity for batch deduplication (types via cache keys)."""
@@ -886,9 +1164,61 @@ class StaticAnalyzer:
             tuple(self._type_key(xml_type) for xml_type in query.types),
         )
 
-    def _solve_many_parallel(self, queries: list[Query], workers: int) -> BatchReport:
+    #: Pool respawns tolerated per batch before the remaining queries are
+    #: declared ``unknown("worker-crash")`` wholesale.  A bound this small is
+    #: only reached when workers die repeatedly without attribution (e.g. the
+    #: pool initializer itself crashes), where retrying cannot converge.
+    MAX_POOL_RESPAWNS = 5
+
+    def _record_payload(self, payload: tuple, queries: list[Query], outcomes: list) -> None:
+        """Fold one worker result into ``outcomes`` and the cache counters."""
+        index, outcome, runs, hits, disk_hits, disk_writes = payload
+        # The worker's query object is a pickle round-trip copy; hand the
+        # caller back the exact object it submitted.
+        outcome.query = queries[index]
+        outcomes[index] = outcome
+        self.solver_runs += runs
+        self.solve_cache_hits += hits
+        self.disk_cache_hits += disk_hits
+        self.disk_cache_writes += disk_writes
+
+    def _retry_isolated(
+        self, index: int, query: Query, budget: Budget | None, marker_dir: str
+    ) -> tuple | None:
+        """One quarantined retry in a fresh single-worker pool.
+
+        Returns the worker payload, or ``None`` when the worker died again —
+        at which point the query is confirmed poison, not a bystander that
+        happened to share a pool with one.
+        """
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_pool_initializer,
+            initargs=(self._options(),),
+        )
+        try:
+            return pool.submit(_pool_solve, (index, query, budget, marker_dir)).result()
+        except BrokenProcessPool:
+            return None
+        finally:
+            pool.shutdown(wait=False)
+            try:
+                os.unlink(os.path.join(marker_dir, f"{index}.running"))
+            except OSError:
+                pass
+
+    def _solve_many_parallel(
+        self, queries: list[Query], workers: int, budget: Budget | None = None
+    ) -> BatchReport:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
         from dataclasses import replace
+
+        import shutil
+        import tempfile
 
         started = time.perf_counter()
         runs_before = self.solver_runs
@@ -905,26 +1235,95 @@ class StaticAnalyzer:
                 groups.setdefault(self._dedupe_key(query), []).append(index)
             else:
                 local.append(index)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_pool_initializer,
-            initargs=(self._options(),),
-        ) as pool:
-            futures = [
-                pool.submit(_pool_solve, (indices[0], queries[indices[0]]))
-                for indices in groups.values()
-            ]
-            # Queries that cannot be shipped (raw-formula types) run in the
-            # parent while the workers chew on theirs.
-            for index in local:
-                outcomes[index] = self.solve(queries[index])
-            for future, indices in zip(futures, groups.values()):
-                index, outcome, runs, hits, disk_hits, disk_writes = future.result()
-                # The worker's query object is a pickle round-trip copy;
-                # hand the caller back the exact objects it submitted.
-                outcome.query = queries[index]
-                outcomes[index] = outcome
-                for duplicate in indices[1:]:
+        # Each worker drops a `<index>.running` marker in this directory for
+        # the duration of a solve; a marker that survives a pool collapse is
+        # how the crash gets blamed on specific queries.
+        marker_dir = tempfile.mkdtemp(prefix="repro-batch-")
+        pending = {indices[0] for indices in groups.values()}
+        pool = None
+        respawns = 0
+        backoff = 0.05
+        first_round = True
+        try:
+            while pending or first_round:
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_pool_initializer,
+                        initargs=(self._options(),),
+                    )
+                submit = sorted(pending)
+                futures = {
+                    leader: pool.submit(
+                        _pool_solve, (leader, queries[leader], budget, marker_dir)
+                    )
+                    for leader in submit
+                }
+                if first_round:
+                    # Queries that cannot be shipped (raw-formula types) run
+                    # in the parent while the workers chew on theirs.
+                    for index in local:
+                        outcomes[index] = self.solve(queries[index], budget)
+                    first_round = False
+                broken = False
+                for leader in submit:
+                    # Futures that completed before a pool collapse still
+                    # hold their results, so drain every one rather than
+                    # bailing at the first BrokenProcessPool.
+                    try:
+                        payload = futures[leader].result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    self._record_payload(payload, queries, outcomes)
+                    pending.discard(leader)
+                if not broken:
+                    continue
+                pool.shutdown(wait=False)
+                pool = None
+                respawns += 1
+                # Leftover markers name the queries that were mid-solve when
+                # the pool died (the killer plus any collateral siblings the
+                # executor tore down with it).  Each gets one isolated retry;
+                # dying again in a pool of one is conclusive.
+                suspects = set()
+                for name in os.listdir(marker_dir):
+                    if not name.endswith(".running"):
+                        continue
+                    try:
+                        suspect = int(name.split(".", 1)[0])
+                    except ValueError:
+                        continue
+                    suspects.add(suspect)
+                    try:
+                        os.unlink(os.path.join(marker_dir, name))
+                    except OSError:
+                        pass
+                for leader in sorted(suspects & pending):
+                    payload = self._retry_isolated(
+                        leader, queries[leader], budget, marker_dir
+                    )
+                    if payload is None:
+                        outcomes[leader] = self._crash_outcome(queries[leader])
+                    else:
+                        self._record_payload(payload, queries, outcomes)
+                    pending.discard(leader)
+                if pending:
+                    if respawns >= self.MAX_POOL_RESPAWNS:
+                        for leader in sorted(pending):
+                            outcomes[leader] = self._crash_outcome(queries[leader])
+                        pending.clear()
+                    else:
+                        time.sleep(backoff)
+                        backoff = min(backoff * 2, 1.0)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+            shutil.rmtree(marker_dir, ignore_errors=True)
+        for indices in groups.values():
+            outcome = outcomes[indices[0]]
+            for duplicate in indices[1:]:
+                if outcome.definite:
                     outcomes[duplicate] = replace(
                         outcome,
                         query=queries[duplicate],
@@ -933,10 +1332,8 @@ class StaticAnalyzer:
                         solve_seconds=0.0,
                     )
                     self.solve_cache_hits += 1
-                self.solver_runs += runs
-                self.solve_cache_hits += hits
-                self.disk_cache_hits += disk_hits
-                self.disk_cache_writes += disk_writes
+                else:
+                    outcomes[duplicate] = replace(outcome, query=queries[duplicate])
         return BatchReport(
             outcomes=outcomes,
             total_seconds=time.perf_counter() - started,

@@ -112,6 +112,10 @@ class ArenaBDDManager:
         # Counters behind ``statistics()``; the hot pair lives in a list the
         # compiled kernels close over: [ite_calls, ite_cache_hits].
         self._counts = [0, 0]
+        # One-slot box for the cooperative resource governor; a list (not an
+        # attribute) so the compiled kernels can close over it and
+        # ``set_governor`` swaps the occupant without recompiling.
+        self._governor_cell: list = [None]
         self._neg_calls = 0
         self._rename_fast = 0
         self._peak_nodes = 0
@@ -144,6 +148,7 @@ class ArenaBDDManager:
         ite_cache = self._ite_cache
         quant_cache = self._quant_cache
         counts = self._counts
+        governor_cell = self._governor_cell
 
         def _mk(level: int, low: int, high: int) -> int:
             """Hash-consed constructor (complement-edge canonical form)."""
@@ -170,6 +175,8 @@ class ArenaBDDManager:
         def _and(a: int, b: int) -> int:
             """Binary conjunction — the hot kernel behind conj/disj/implies."""
             counts[0] += 1
+            if governor_cell[0] is not None:
+                governor_cell[0].tick()
             if a == 1 or b == 1:
                 return 1
             if a == 0:
@@ -228,6 +235,8 @@ class ArenaBDDManager:
 
         def _ite(f: int, g: int, h: int) -> int:
             counts[0] += 1
+            if governor_cell[0] is not None:
+                governor_cell[0].tick()
             # Constant and coincidence simplifications (TRUE == 0, FALSE == 1).
             if f == 0:
                 return g
@@ -309,6 +318,8 @@ class ArenaBDDManager:
         def _exists(node: int, mask: int, maxlevel: int, tag: int) -> int:
             if node <= 1:
                 return node
+            if governor_cell[0] is not None:
+                governor_cell[0].tick()
             index = node >> 1
             level = levels[index]
             if level > maxlevel:
@@ -337,6 +348,8 @@ class ArenaBDDManager:
             a: int, b: int, mask: int, maxlevel: int, tag: int, cache: dict[int, int]
         ) -> int:
             counts[0] += 1
+            if governor_cell[0] is not None:
+                governor_cell[0].tick()
             if a == 1 or b == 1 or a ^ b == 1:
                 return 1
             if a == 0:
@@ -482,6 +495,16 @@ class ArenaBDDManager:
         self._quant_cache.clear()
         self._rename_cache.clear()
         self._restrict_cache.clear()
+
+    def set_governor(self, governor: object | None) -> None:
+        """Attach/detach a cooperative resource governor (see the protocol).
+
+        The compiled kernels close over a one-slot box, so attaching costs no
+        recompilation and the ungoverned path stays a single ``None`` check
+        per frame.  A ``BudgetExceeded`` raised mid-kernel unwinds through
+        hash-consed partial results only — the arena stays consistent.
+        """
+        self._governor_cell[0] = governor
 
     # -- node construction ---------------------------------------------------
 

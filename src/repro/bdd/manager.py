@@ -101,6 +101,9 @@ class BDDManager:
         # holders of raw node ids can detect staleness.
         self._gc_hooks: list[tuple[Callable[[], Iterable[int]], Callable[[dict[int, int]], None]]] = []
         self.generation = 0
+        # Cooperative resource governor (``set_governor``); ``None`` keeps the
+        # kernels on their ungoverned fast path (one ``None`` check per frame).
+        self._governor = None
         for name in variables:
             self.add_variable(name)
 
@@ -167,6 +170,17 @@ class BDDManager:
         self._quant_cache.clear()
         self._rename_cache.clear()
         self._restrict_cache.clear()
+
+    def set_governor(self, governor: object | None) -> None:
+        """Attach/detach a cooperative resource governor (see the protocol).
+
+        While attached, every ``ite``/``exists``/``and_exists`` kernel frame
+        calls ``governor.tick()``, which may raise ``BudgetExceeded``.  A
+        raise mid-operation leaves the node table and caches consistent
+        (partial results are hash-consed nodes like any other), so the
+        manager stays usable afterwards.
+        """
+        self._governor = governor
 
     def add_gc_hook(
         self,
@@ -327,11 +341,14 @@ class BDDManager:
         values: list[int] = []
         nodes = self._nodes
         terminal_level = len(self._var_names)
+        governor = self._governor
         while tasks:
             task = tasks.pop()
             if task[0] == CALL:
                 _tag, f, g, h = task
                 self._ite_calls += 1
+                if governor is not None:
+                    governor.tick()
                 # Redundant-argument simplifications: ite(f, f, h) = ite(f, 1, h)
                 # and ite(f, g, f) = ite(f, g, 0).
                 if g == f:
@@ -457,6 +474,8 @@ class BDDManager:
     def _exists(self, node: int, levels: frozenset[int], cache_tag: tuple) -> int:
         if node <= 1:
             return node
+        if self._governor is not None:
+            self._governor.tick()
         level, low, high = self._nodes[node]
         if level > max(levels):
             return node
@@ -522,6 +541,8 @@ class BDDManager:
             return FALSE
         if a == TRUE and b == TRUE:
             return TRUE
+        if self._governor is not None:
+            self._governor.tick()
         if a == TRUE or b == TRUE:
             node = b if a == TRUE else a
             return self._exists(node, levels, cache_tag=("exists", levels))

@@ -83,6 +83,17 @@ class BDDBackend(Protocol):
     def statistics(self) -> BDDStatistics: ...
     def clear_caches(self) -> None: ...
 
+    # -- resource governance -----------------------------------------------
+    #: Attach (or detach, with ``None``) a cooperative resource governor
+    #: (:class:`repro.solver.governor.ResourceGovernor`-shaped: its ``tick()``
+    #: is called once per kernel frame and may raise ``BudgetExceeded``).
+    #: Engines must keep the ungoverned fast path at a single ``None`` check
+    #: per frame, and must stay *consistent* after a tick raises: the node
+    #: table and caches may hold partial results, but every already-returned
+    #: id stays valid, so the manager remains usable (e.g. by a degraded
+    #: re-run or the service's next request on a fresh solver).
+    def set_governor(self, governor: object | None) -> None: ...
+
     # -- garbage collection ------------------------------------------------
     def add_gc_hook(
         self,

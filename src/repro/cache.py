@@ -21,7 +21,8 @@ module stores solver verdicts on disk so *cold processes start warm*:
   temporary name and published with :func:`os.replace` (atomic on POSIX and
   NTFS).  Two processes racing on the same key write byte-identical content,
   so last-writer-wins is harmless; readers never observe partial files, and a
-  corrupt or truncated entry is treated as a miss and rewritten.
+  corrupt or truncated entry is treated as a miss, quarantined to a
+  ``.corrupt`` sibling for inspection, and rewritten on the next solve.
 
 The cache stores *verdicts*, not BDDs: satisfiability, the serialized
 counterexample document (when one exists) and the solver statistics of the
@@ -49,6 +50,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from repro.core import faults
 from repro.logic import syntax as sx
 from repro.logic.printer import format_formula
 
@@ -269,16 +271,34 @@ class DiskSolveCache:
     # -- read / write ------------------------------------------------------------
 
     def get(self, formula: sx.Formula) -> SolveRecord | None:
-        """The stored verdict for a formula, or ``None`` on miss/corruption."""
+        """The stored verdict for a formula, or ``None`` on miss/corruption.
+
+        A file that exists but does not decode — truncated by a torn write,
+        bit-rotted, hand-edited — is *quarantined*: renamed to
+        ``<entry>.corrupt`` so the next writer republishes a good entry while
+        the evidence stays on disk for inspection.  Version or key mismatches
+        are well-formed files and stay in place (plain miss).
+        """
         key = self.key_for(formula)
+        path = self.path_for_key(key)
         try:
-            payload = json.loads(self.path_for_key(key).read_text(encoding="utf-8"))
+            payload = json.loads(path.read_text(encoding="utf-8"))
             if payload.get("version") != CACHE_FORMAT_VERSION or payload.get("key") != key:
                 return None
             return SolveRecord.from_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, truncated by a crashed writer, or hand-edited: a miss.
+        except FileNotFoundError:
             return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry aside; never raises (losing the race is fine)."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
 
     def put(self, formula: sx.Formula, record: SolveRecord) -> Path:
         """Persist a verdict (atomic publish); returns the entry path."""
@@ -293,11 +313,15 @@ class DiskSolveCache:
             "formula": format_formula(formula)[:_FORMULA_PREVIEW_CHARS],
             "created": time.time(),
         }
+        encoded = json.dumps(payload, ensure_ascii=False, indent=1) + "\n"
+        if faults.should_fire("cache-torn-write", key):
+            # Simulate a writer dying mid-write *without* the atomic-publish
+            # protection: half a payload lands at the final path.
+            path.write_text(encoded[: len(encoded) // 2], encoding="utf-8")
+            return path
         self._sequence += 1
         scratch = path.parent / f".{key}.{os.getpid()}.{self._sequence}.tmp"
-        scratch.write_text(
-            json.dumps(payload, ensure_ascii=False, indent=1) + "\n", encoding="utf-8"
-        )
+        scratch.write_text(encoded, encoding="utf-8")
         os.replace(scratch, path)
         return path
 

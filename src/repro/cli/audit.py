@@ -7,7 +7,10 @@ stable JSON report of :meth:`repro.xslt.report.AuditReport.as_dict`.
 Exit codes follow the shared CLI contract, refined by ``--fail-on``: 0 when
 no finding reaches the threshold severity (default ``error``), 1 when one
 does, 2 when the invocation itself was unusable (missing stylesheet,
-unknown schema, malformed XML).
+unknown schema, malformed XML), 3 when nothing reached the threshold but at
+least one audit query was *inconclusive* — a ``--deadline``/``--max-steps``
+budget ran out, so the report carries ``analysis-unknown`` findings and the
+audit cannot vouch for the rules those queries back.
 """
 
 from __future__ import annotations
@@ -15,14 +18,18 @@ from __future__ import annotations
 import sys
 
 from repro.api import StaticAnalyzer
-from repro.cli.analyze import EXIT_USAGE
+from repro.cli.analyze import EXIT_UNKNOWN, EXIT_USAGE
+from repro.cli.main import budget_from_args
 from repro.core.errors import ReproError
 from repro.xslt import audit_stylesheet
 
 
 def run(args) -> int:
     analyzer = StaticAnalyzer(
-        cache_dir=args.cache_dir, backend=getattr(args, "backend", None)
+        cache_dir=args.cache_dir,
+        backend=getattr(args, "backend", None),
+        budget=budget_from_args(args),
+        degrade=getattr(args, "degrade", False),
     )
     try:
         report = audit_stylesheet(
@@ -37,4 +44,7 @@ def run(args) -> int:
     else:
         print(report.to_text())
     fail_on = None if args.fail_on == "never" else args.fail_on
-    return report.exit_code(fail_on)
+    code = report.exit_code(fail_on)
+    if code == 0 and any(f.rule == "analysis-unknown" for f in report.findings):
+        return EXIT_UNKNOWN
+    return code

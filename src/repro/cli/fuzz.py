@@ -7,6 +7,11 @@ accepting a name or ``all``), and cross-checks the verdicts against the
 bounded explicit oracles (see ``docs/TESTING.md``).  The JSON campaign
 report is printed to stdout.
 
+With ``--chaos`` every trial additionally stresses resource governance: a
+seeded budgeted re-solve and an injected deadline expiry must both degrade
+into structured ``BudgetExceeded`` outcomes, never a wrong verdict or a hard
+crash (the fault-injection harness of :mod:`repro.testing.faults`).
+
 Exit codes follow the ``repro analyze`` contract:
 
 * ``0`` — every trial agreed across all engines and oracles;
@@ -96,6 +101,13 @@ def add_arguments(parser) -> None:
         "identical verdicts (default: $REPRO_BDD_BACKEND if set, else dict)",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="also stress resource governance on every trial: a seeded "
+        "budgeted re-solve must agree with the reference verdict or yield a "
+        "structured BudgetExceeded, and an injected deadline expiry must "
+        "surface as one (never a wrong verdict, never a hard crash)",
+    )
+    parser.add_argument(
         "--compact", action="store_true", help="single-line JSON output"
     )
 
@@ -140,6 +152,7 @@ def run(args) -> int:
         corpus_dir=_corpus_dir(args),
         sample_corpus=args.sample_corpus,
         backends=backends,
+        chaos=args.chaos,
     )
     report = run_fuzz(config)
     payload = report.as_dict()

@@ -14,7 +14,10 @@ Every subcommand shares the exit-code contract of ``repro analyze``: 0 on
 success, 1 when the run found what it looked for but the answer is "bad"
 (analysis errors, benchmark regressions, fuzz disagreements), 2 when the
 invocation or the run itself failed — internal errors print one diagnostic
-line to stderr instead of a traceback.
+line to stderr instead of a traceback — and 3 when every query was analysed
+but at least one verdict is *unknown* because a resource budget ran out
+(see the ``--deadline``/``--max-steps``/``--max-lean`` options shared by
+``analyze``, ``audit`` and ``serve``).
 
 The persistent solve cache is enabled by ``--cache-dir`` on ``analyze`` and
 ``serve``, or by the ``REPRO_CACHE_DIR`` environment variable (the flag
@@ -53,6 +56,64 @@ def _add_backend_option(parser: argparse.ArgumentParser) -> None:
         help="BDD engine for solver runs (default: $REPRO_BDD_BACKEND if set, "
         "else dict); both engines produce identical verdicts",
     )
+
+
+def _add_budget_options(parser: argparse.ArgumentParser) -> None:
+    budget = parser.add_argument_group(
+        "resource budgets",
+        "bound every solver run; a query that runs out of budget gets a "
+        "structured 'unknown' verdict (exit code 3) instead of hanging",
+    )
+    budget.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per solver run",
+    )
+    budget.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on BDD kernel steps per solver run (machine-independent)",
+    )
+    budget.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on fixpoint iterations per solver run",
+    )
+    budget.add_argument(
+        "--max-lean",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refuse formulas whose Lean exceeds N before any BDD is built "
+        "(the algorithm is 2^O(lean))",
+    )
+    budget.add_argument(
+        "--degrade",
+        action="store_true",
+        help="when a budget runs out, fall back to the bounded explicit "
+        "solver for instances small enough to decide eagerly",
+    )
+
+
+def budget_from_args(args) -> "object | None":
+    """The analyzer-wide :class:`repro.solver.governor.Budget` the flags ask
+    for, or ``None`` when every limit is absent (imported lazily so
+    ``repro --help`` stays solver-free)."""
+    from repro.solver.governor import Budget
+
+    budget = Budget(
+        deadline_seconds=getattr(args, "deadline", None),
+        max_steps=getattr(args, "max_steps", None),
+        max_iterations=getattr(args, "max_iterations", None),
+        max_lean=getattr(args, "max_lean", None),
+    )
+    return None if budget.unlimited else budget
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_option(analyze)
     _add_backend_option(analyze)
+    _add_budget_options(analyze)
 
     audit = subparsers.add_parser(
         "audit",
@@ -142,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_option(audit)
     _add_backend_option(audit)
+    _add_budget_options(audit)
 
     serve = subparsers.add_parser(
         "serve",
@@ -159,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_option(serve)
     _add_backend_option(serve)
+    _add_budget_options(serve)
 
     schemas = subparsers.add_parser(
         "schemas",

@@ -22,6 +22,12 @@ One *request* object describes one :class:`repro.api.Query`:
   (``"rooted:xhtml"``, ``"rooted:type.dtd"``) or wrapping an entry in
   ``{"rooted": <entry>}``.
 * ``id`` — optional opaque value echoed back by ``repro serve``.
+* ``budget`` — optional per-request resource budget, an object with any of
+  ``deadline_seconds``, ``max_steps``, ``max_iterations``, ``max_lean`` (see
+  :class:`repro.solver.governor.Budget`).  It *tightens* whatever budget the
+  serving analyzer was built with; a budgeted solve that runs out yields an
+  outcome with ``verdict_status: "unknown"`` and a ``budget_reason`` instead
+  of a verdict.
 
 Batch files for ``repro analyze --batch`` hold either a JSON array of request
 objects or JSON Lines (one request per line; blank lines and ``#`` comment
@@ -105,7 +111,7 @@ def query_from_dict(payload: dict, dtd_cache: DTDCache | None = None) -> Query:
     """
     if not isinstance(payload, dict):
         raise WireError(f"request must be a JSON object, got {type(payload).__name__}")
-    unknown = set(payload) - {"id", "kind", "exprs", "types"}
+    unknown = set(payload) - {"id", "kind", "exprs", "types", "budget"}
     if unknown:
         raise WireError(f"unknown request keys {sorted(unknown)!r}")
     kind = payload.get("kind")
@@ -129,6 +135,27 @@ def query_from_dict(payload: dict, dtd_cache: DTDCache | None = None) -> Query:
         types = types * wanted  # broadcast "same schema on every side"
     resolved = tuple(resolve_wire_type(value, dtd_cache) for value in types)
     return Query(kind, tuple(exprs), resolved)
+
+
+def budget_from_dict(payload: dict) -> "Budget | None":
+    """The request's per-query :class:`~repro.solver.governor.Budget`.
+
+    ``None`` when the request carries no ``budget`` key (the common case);
+    raises :class:`WireError` on malformed budget objects (unknown fields,
+    non-positive limits).
+    """
+    value = payload.get("budget") if isinstance(payload, dict) else None
+    if value is None:
+        return None
+    if not isinstance(value, dict):
+        raise WireError(f"'budget' must be an object, got {value!r}")
+    from repro.solver.governor import Budget
+
+    try:
+        budget = Budget.from_dict(value)
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"invalid budget: {exc}") from None
+    return None if budget.unlimited else budget
 
 
 def read_batch(path: str | Path) -> list[dict]:

@@ -52,3 +52,44 @@ class SolverLimitError(ReproError):
     intended for small instances and cross-validation; it raises this error
     instead of running for an unbounded amount of time.
     """
+
+
+#: Structured reasons a :class:`BudgetExceeded` may carry.  These strings are
+#: the wire-visible ``budget_reason`` vocabulary of unknown outcomes and must
+#: stay stable (and backend-independent: the same exhausted budget reports the
+#: same reason on every BDD engine).
+BUDGET_REASONS = ("deadline", "steps", "iterations", "lean", "worker-crash")
+
+
+class BudgetExceeded(ReproError):
+    """Raised when a resource-governed solve runs out of budget.
+
+    The algorithm is ``2^O(lean)`` (Lemma 6.7), so a deployment facing
+    adversarial inputs bounds each solve with a :class:`repro.solver.governor.
+    Budget` and treats exhaustion as a first-class *unknown* verdict rather
+    than a failure.  ``reason`` is one of :data:`BUDGET_REASONS`; ``limit``
+    and ``observed`` quantify which bound tripped and where the run stood.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str,
+        *,
+        limit: float | int | None = None,
+        observed: float | int | None = None,
+    ):
+        if reason not in BUDGET_REASONS:
+            raise ValueError(f"unknown budget reason {reason!r}")
+        super().__init__(message)
+        self.reason = reason
+        self.limit = limit
+        self.observed = observed
+
+    def as_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "message": str(self),
+            "limit": self.limit,
+            "observed": self.observed,
+        }

@@ -34,6 +34,18 @@ from repro.trees.binary import BinTree
 EntryKey = tuple[frozenset[sx.Formula], bool]
 
 
+def estimate_psi_types(solver: "ExplicitSolver") -> int:
+    """Upper bound on the ψ-types the explicit solver would enumerate."""
+    lean = solver.lean
+    modal = sum(
+        1
+        for item in lean.items
+        if item.kind == sx.KIND_DIA and item.left is not sx.TRUE
+    )
+    optional = 4 + len(lean.attributes) + modal
+    return len(lean.propositions) * 2 * (2**optional)
+
+
 @dataclass
 class _Entry:
     assignment: TypeAssignment
@@ -74,6 +86,15 @@ class ExplicitSolver:
     @property
     def lean(self) -> Lean:
         return self._lean
+
+    def estimated_types(self) -> int:
+        """Upper bound on the ψ-types :meth:`solve` would enumerate.
+
+        Cheap (no enumeration): callers use it to decline instances whose
+        eager ψ-type table would be too large — the fuzzer's explicit oracle
+        and the API façade's graceful-degradation fallback both gate on it.
+        """
+        return estimate_psi_types(self)
 
     def solve(self) -> ExplicitResult:
         """Run the algorithm; returns satisfiability, a model, and statistics."""

@@ -31,6 +31,7 @@ from repro.bdd.manager import BDD
 from repro.logic import syntax as sx
 from repro.logic.closure import Lean, lean as compute_lean
 from repro.logic.cyclefree import assert_cycle_free
+from repro.solver.governor import Budget, governor_for
 from repro.solver.relations import LeanEncoding, TransitionRelation
 from repro.trees.binary import BinTree
 from repro.trees.unranked import Tree
@@ -167,6 +168,13 @@ class SymbolicSolver:
       ``"arena"``, ...); ``None`` defers to ``REPRO_BDD_BACKEND`` and then
       the default.  The verdict is backend-independent (enforced by the
       cross-backend conformance suite and the fuzzer's backend axis).
+    * ``budget`` — optional :class:`repro.solver.governor.Budget` bounding
+      the run (wall-clock deadline, BDD kernel steps, fixpoint iterations,
+      Lean size).  Exhaustion raises :class:`repro.core.errors.
+      BudgetExceeded` with a structured, backend-independent reason; the
+      governor is polled once per fixpoint iteration and — via the BDD
+      engine's kernel ticks — every ~1024 kernel frames, so a deadline bites
+      within milliseconds even inside one enormous iteration.
     """
 
     formula: sx.Formula
@@ -181,6 +189,7 @@ class SymbolicSolver:
     max_iterations: int = 10_000
     keep_snapshots: bool = True
     backend: str | None = None
+    budget: Budget | None = None
 
     #: A delta product is attempted only when the delta's BDD is at least
     #: this many times smaller than the set it grew (full products over the
@@ -221,11 +230,21 @@ class SymbolicSolver:
 
     def solve(self) -> SolverResult:
         statistics = SolverStatistics(lean_size=len(self._lean))
+        # Resource governance (all checkpoints are cooperative): refuse
+        # over-budget Leans before any BDD exists, then let the engine's
+        # kernel ticks and the per-iteration poll below enforce the deadline
+        # and step budget.  The governor's clock starts here, so translation
+        # time counts against the deadline too.
+        governor = governor_for(self.budget)
+        if governor is not None:
+            governor.check_lean(len(self._lean))
         start_translation = time.perf_counter()
 
         encoding = LeanEncoding(
             self._lean, interleaved=self.interleaved_order, backend=self.backend
         )
+        if governor is not None:
+            encoding.manager.set_governor(governor)
         relations = {
             program: TransitionRelation(
                 encoding,
@@ -314,6 +333,8 @@ class SymbolicSolver:
 
         for iteration in range(1, self.max_iterations + 1):
             statistics.iterations = iteration
+            if governor is not None:
+                governor.check_iteration(iteration)
             if self.collect_every and iteration % self.collect_every == 0:
                 collect_garbage()
                 types_unmarked = types & ~start_literal

@@ -21,7 +21,10 @@ specifications that share no code with the BDD engine:
   every trial runs the symbolic solver with pruning on/off × frontier
   deltas on/off, compares all verdicts against the oracles, shrinks any
   disagreement, and serialises it into ``tests/corpus/`` for permanent
-  replay by ``tests/test_corpus.py``.
+  replay by ``tests/test_corpus.py``;
+* :mod:`repro.testing.faults` — deterministic fault injection (worker
+  crashes, torn cache writes, expiring deadlines) behind ``repro fuzz
+  --chaos`` and the robustness test-suite.
 
 See ``docs/TESTING.md`` for the user-facing guide.
 """
@@ -52,11 +55,13 @@ from repro.testing.oracle import (
 )
 from repro.testing.shrink import shrink_case
 from repro.testing.corpus import FuzzCase, load_corpus, write_corpus_case
+from repro.testing import faults
 
 __all__ = [
     "Bounds",
     "BoundedVerdict",
     "FuzzCase",
+    "faults",
     "FuzzConfig",
     "FuzzReport",
     "GeneratorConfig",

@@ -1,0 +1,47 @@
+"""Fault-injection harness for robustness testing: ``repro.testing.faults``.
+
+The mechanics live in :mod:`repro.core.faults` (a stdlib-only leaf, so the
+solver, cache and API façade can host injection sites without import cycles);
+this module is the user-facing surface and re-exports everything.  Typical
+in-process use::
+
+    from repro.testing import faults
+
+    faults.install(faults.FaultPlan([
+        faults.FaultPoint(point="worker-crash", match="poison"),
+    ]))
+    try:
+        ...  # code under test
+    finally:
+        faults.uninstall()
+
+To reach worker processes, export the plan instead::
+
+    os.environ[faults.FAULTS_ENV] = plan.to_env()
+
+See the :mod:`repro.core.faults` docstring for the known failure points and
+the exact firing rules (``match`` substrings, per-process ``times`` counters,
+cross-process ``latch`` files).
+"""
+
+from repro.core.faults import (
+    FAULT_POINTS,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultPoint,
+    active,
+    install,
+    should_fire,
+    uninstall,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultPoint",
+    "active",
+    "install",
+    "should_fire",
+    "uninstall",
+]

@@ -16,6 +16,15 @@ cross-examines the verdict with the three oracles of
 * a "satisfiable" verdict's model document must replay cleanly through the
   denotational semantics and DTD membership.
 
+With ``FuzzConfig.chaos`` the campaign additionally stress-tests *resource
+governance* on every trial: a solve under a small seeded step budget must
+either agree with the unbudgeted reference verdict or surface as a
+structured :class:`~repro.core.errors.BudgetExceeded` (never a wrong verdict
+and never any other exception), and a solve with an injected deadline-expiry
+fault (:mod:`repro.testing.faults`) must raise
+``BudgetExceeded(reason="deadline")`` — proving the governor's checkpoints
+are reachable on arbitrary generated formulas.
+
 Disagreements are shrunk (:func:`repro.testing.shrink.shrink_case`) and
 serialised into the corpus directory, where ``tests/test_corpus.py`` replays
 them forever.  Campaigns are deterministic: trial ``i`` of ``--seed S``
@@ -79,6 +88,10 @@ class FuzzConfig:
     #: frontier) cell is solved once per backend and all verdicts must
     #: agree.  The first entry is the reference engine.
     backends: tuple[str, ...] = DEFAULT_FUZZ_BACKENDS
+    #: Also run the resource-governance chaos probes on every solved trial
+    #: (seeded budgeted re-solve + injected deadline expiry; see module
+    #: docstring).
+    chaos: bool = False
 
     def trial_seeds(self) -> list[int]:
         """The per-trial generator seeds; independent of ``workers``."""
@@ -106,6 +119,14 @@ class TrialOutcome:
     explicit_engaged: bool = False
     replay_checked: bool = False
     replay_skipped: bool = False
+    #: Chaos-axis engagement (``FuzzConfig.chaos``): whether the probes ran,
+    #: the step budget the budgeted re-solve ran under, the structured reason
+    #: when that budget ran out (``None``: it finished and agreed), and
+    #: whether the injected deadline expiry surfaced correctly.
+    chaos_checked: bool = False
+    chaos_max_steps: int = 0
+    chaos_budget_reason: str | None = None
+    chaos_deadline_injected: bool = False
     #: The case's Lean exceeded ``bounds.max_lean``; nothing was solved.
     skipped_oversized: bool = False
     lean_size: int = 0
@@ -184,13 +205,15 @@ def evaluate_case(
     bounds: Bounds = Bounds(),
     index: int = 0,
     backends: tuple[str, ...] = DEFAULT_FUZZ_BACKENDS,
+    chaos: bool = False,
 ) -> TrialOutcome:
     """Run one case through the ablation matrix and every oracle.
 
     ``backends`` is the BDD-engine axis: every (pruning, frontier) cell is
     solved once per listed engine, and a verdict split across engines is a
     disagreement like any other.  ``backends[0]`` is the reference whose
-    witness feeds the replay oracle.
+    witness feeds the replay oracle.  With ``chaos`` the resource-governance
+    probes of :func:`_chaos_check` run after the oracles.
     """
     started = time.perf_counter()
     outcome = TrialOutcome(index=index, case=case)
@@ -286,8 +309,113 @@ def evaluate_case(
             for problem in problems:
                 outcome.disagreements.append({"oracle": "witness", "detail": problem})
 
+    # Oracle 4 (chaos axis): resource governance must degrade, never lie.
+    if chaos:
+        _chaos_check(outcome, formulas[False], reference.satisfiable, backends[0])
+
     outcome.seconds = time.perf_counter() - started
     return outcome
+
+
+def _chaos_check(
+    outcome: TrialOutcome,
+    formula: sx.Formula,
+    reference_satisfiable: bool,
+    backend: str,
+) -> None:
+    """The resource-governance probes behind ``FuzzConfig.chaos``.
+
+    Two deterministic checks per trial (the step budget is seeded from the
+    trial index and the case's Lean size, so campaigns stay reproducible
+    whatever ``--workers`` says):
+
+    * a re-solve under a small step budget must either agree with the
+      unbudgeted reference verdict or raise a structured
+      :class:`~repro.core.errors.BudgetExceeded` — a *different* verdict, or
+      any other exception, is a disagreement like any oracle split;
+    * a re-solve with an injected deadline expiry (the ``deadline`` fault
+      point of :mod:`repro.testing.faults`) must raise
+      ``BudgetExceeded(reason="deadline")`` — every governed solve polls at
+      its first fixpoint iteration, so a formula on which the fault never
+      surfaces means a checkpoint went missing.
+    """
+    from repro.core.errors import BudgetExceeded
+    from repro.solver.governor import Budget
+    from repro.testing import faults
+
+    outcome.chaos_checked = True
+    rng = random.Random((outcome.index << 20) ^ outcome.lean_size)
+    outcome.chaos_max_steps = 2 ** rng.randint(6, 14)
+    try:
+        budgeted = SymbolicSolver(
+            formula, budget=Budget(max_steps=outcome.chaos_max_steps), backend=backend
+        ).solve()
+    except BudgetExceeded as exc:
+        outcome.chaos_budget_reason = exc.reason
+    except Exception as exc:  # noqa: BLE001 - the property under test
+        outcome.disagreements.append(
+            {
+                "oracle": "chaos",
+                "detail": (
+                    f"budgeted solve (max_steps={outcome.chaos_max_steps}) "
+                    f"raised {type(exc).__name__} instead of finishing or "
+                    f"raising BudgetExceeded: {exc}"
+                ),
+            }
+        )
+    else:
+        if budgeted.satisfiable != reference_satisfiable:
+            outcome.disagreements.append(
+                {
+                    "oracle": "chaos",
+                    "detail": (
+                        f"budgeted solve (max_steps={outcome.chaos_max_steps}) "
+                        f"answered {budgeted.satisfiable}, unbudgeted "
+                        f"reference answered {reference_satisfiable}"
+                    ),
+                }
+            )
+
+    faults.install(faults.FaultPlan([faults.FaultPoint(point="deadline")]))
+    try:
+        SymbolicSolver(
+            formula, budget=Budget(deadline_seconds=3600.0), backend=backend
+        ).solve()
+    except BudgetExceeded as exc:
+        if exc.reason == "deadline":
+            outcome.chaos_deadline_injected = True
+        else:
+            outcome.disagreements.append(
+                {
+                    "oracle": "chaos",
+                    "detail": (
+                        "injected deadline expiry surfaced with reason "
+                        f"{exc.reason!r} instead of 'deadline'"
+                    ),
+                }
+            )
+    except Exception as exc:  # noqa: BLE001 - the property under test
+        outcome.disagreements.append(
+            {
+                "oracle": "chaos",
+                "detail": (
+                    f"injected deadline expiry raised {type(exc).__name__} "
+                    f"instead of BudgetExceeded: {exc}"
+                ),
+            }
+        )
+    else:
+        outcome.disagreements.append(
+            {
+                "oracle": "chaos",
+                "detail": (
+                    "injected deadline expiry never surfaced: the governed "
+                    "solve finished without reaching a checkpoint"
+                ),
+            }
+        )
+    finally:
+        faults.uninstall()
 
 
 # ---------------------------------------------------------------------------
@@ -365,6 +493,21 @@ class FuzzReport:
                     1 for t in trials if t.replay_skipped
                 ),
             },
+            "chaos": {
+                "enabled": self.config.chaos,
+                "trials": sum(1 for t in trials if t.chaos_checked),
+                "budgeted_unknowns": sum(
+                    1 for t in trials if t.chaos_budget_reason is not None
+                ),
+                "budgeted_agreements": sum(
+                    1
+                    for t in trials
+                    if t.chaos_checked and t.chaos_budget_reason is None
+                ),
+                "deadline_injections": sum(
+                    1 for t in trials if t.chaos_deadline_injected
+                ),
+            },
             "disagreements": self.disagreements,
             "errors": self.errors,
             "corpus_files": list(self.corpus_files),
@@ -375,7 +518,13 @@ def _run_trial(index: int, trial_seed: int, config: FuzzConfig) -> TrialOutcome:
     rng = random.Random(trial_seed)
     case = gen_case(rng, config.generator)
     try:
-        return evaluate_case(case, config.bounds, index=index, backends=config.backends)
+        return evaluate_case(
+            case,
+            config.bounds,
+            index=index,
+            backends=config.backends,
+            chaos=config.chaos,
+        )
     except Exception as exc:  # noqa: BLE001 - reported, never swallowed
         outcome = TrialOutcome(index=index, case=case)
         outcome.error = f"{type(exc).__name__}: {exc}"
@@ -423,9 +572,10 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     return report
 
 
-def _still_disagrees(bounds: Bounds, backends: tuple[str, ...]):
+def _still_disagrees(bounds: Bounds, backends: tuple[str, ...], chaos: bool = False):
     def predicate(candidate: FuzzCase) -> bool:
-        return bool(evaluate_case(candidate, bounds, backends=backends).disagreements)
+        outcome = evaluate_case(candidate, bounds, backends=backends, chaos=chaos)
+        return bool(outcome.disagreements)
 
     return predicate
 
@@ -436,7 +586,8 @@ def _write_disagreements(report: FuzzReport, config: FuzzConfig) -> None:
         if not trial.disagreements:
             continue
         shrunk = shrink_case(
-            trial.case, _still_disagrees(config.bounds, config.backends)
+            trial.case,
+            _still_disagrees(config.bounds, config.backends, config.chaos),
         )
         disagreement = dict(trial.disagreements[0])
         disagreement.setdefault("backends", list(config.backends))

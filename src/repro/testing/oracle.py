@@ -39,7 +39,7 @@ from repro.core.errors import SolverLimitError
 from repro.logic import syntax as sx
 from repro.logic.closure import OTHER_ATTRIBUTE
 from repro.logic.semantics import interpret
-from repro.solver.explicit import ExplicitSolver
+from repro.solver.explicit import ExplicitSolver, estimate_psi_types
 from repro.testing.corpus import FuzzCase
 from repro.trees.focus import FocusedTree, all_focuses, focus_at
 from repro.trees.unranked import Tree
@@ -386,16 +386,10 @@ def _semantic_mismatch(
 # ---------------------------------------------------------------------------
 
 
-def estimate_psi_types(solver: ExplicitSolver) -> int:
-    """Upper bound on the ψ-types the explicit solver would enumerate."""
-    lean = solver.lean
-    modal = sum(
-        1
-        for item in lean.items
-        if item.kind == sx.KIND_DIA and item.left is not sx.TRUE
-    )
-    optional = 4 + len(lean.attributes) + modal
-    return len(lean.propositions) * 2 * (2**optional)
+# ``estimate_psi_types`` moved next to the solver it estimates
+# (:func:`repro.solver.explicit.estimate_psi_types`) so the API façade's
+# graceful-degradation fallback can gate on it too; re-imported above for
+# backwards compatibility.
 
 
 def explicit_verdict(

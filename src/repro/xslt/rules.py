@@ -96,7 +96,7 @@ def audit_stylesheet(
     dead = {
         id(entry.template)
         for entry in compiled
-        if outcomes[entry.sat].ok and not outcomes[entry.sat].holds
+        if outcomes[entry.sat].definite and not outcomes[entry.sat].holds
     }
     for entry in compiled:
         _interpret_template(entry, outcomes, schema_name, findings, dead)
@@ -449,6 +449,28 @@ def _analysis_error(
     )
 
 
+def _analysis_unknown(
+    file: str, line: int, column: int, outcome: AnalysisOutcome
+) -> Finding:
+    """An audit query whose solver budget ran out: reported, never guessed.
+
+    A non-definite outcome must not feed a rule verdict — treating an
+    unknown satisfiability as "dead template" would turn a tight deadline
+    into false positives — so the rule engine surfaces it as an ``info``
+    finding and draws no conclusion from the query.
+    """
+    return Finding(
+        "analysis-unknown",
+        "info",
+        f"analysis inconclusive (budget exhausted: {outcome.budget_reason}): "
+        f"{outcome.problem}",
+        file,
+        line,
+        column,
+        {"budget_reason": outcome.budget_reason, "problem": outcome.problem},
+    )
+
+
 def _mode_suffix(template: Template) -> str:
     return f' mode="{template.mode}"' if template.mode is not None else ""
 
@@ -465,6 +487,11 @@ def _interpret_template(
     if not sat.ok:
         findings.append(
             _analysis_error(template.file, template.line, template.column, sat)
+        )
+        return
+    if not sat.definite:
+        findings.append(
+            _analysis_unknown(template.file, template.line, template.column, sat)
         )
         return
     if not sat.holds:
@@ -501,6 +528,12 @@ def _interpret_shadows(
         if broken is not None:
             findings.append(
                 _analysis_error(template.file, template.line, template.column, broken)
+            )
+            continue
+        if not sat.definite or not contained.definite:
+            vague = sat if not sat.definite else contained
+            findings.append(
+                _analysis_unknown(template.file, template.line, template.column, vague)
             )
             continue
         if not sat.holds or not contained.holds:
@@ -562,6 +595,9 @@ def _interpret_body(
         if not outcome.ok:
             findings.append(_analysis_error(e.file, e.line, e.column, outcome))
             continue
+        if not outcome.definite:
+            findings.append(_analysis_unknown(e.file, e.line, e.column, outcome))
+            continue
         empties[e.index] = outcome.holds
         if not outcome.holds:
             continue
@@ -600,6 +636,9 @@ def _interpret_coverage(
 ) -> None:
     if not outcome.ok:
         findings.append(_analysis_error(stylesheet.path, 1, 1, outcome))
+        return
+    if not outcome.definite:
+        findings.append(_analysis_unknown(stylesheet.path, 1, 1, outcome))
         return
     if outcome.holds:
         return
