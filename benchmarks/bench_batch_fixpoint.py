@@ -1,0 +1,58 @@
+"""Merged-Lean batch fixpoint benchmark — one fixpoint per batch group.
+
+Two workloads, shared with the ``repro bench batch`` subcommand
+(:func:`repro.cli.bench.run_batch`):
+
+* the 50-query ``cli-cache`` JSONL workload solved three ways — cold
+  per-query analyzers (the established ``api-batch`` baseline), one warm
+  sequential ``batch_fixpoint="off"`` analyzer, and one
+  ``batch_fixpoint="on"`` analyzer running a single frontier fixpoint per
+  schema/alphabet group.  Verdicts must be identical across all three
+  paths and witnesses byte-identical between the two modes;
+* the seeded example stylesheet audited once per mode — findings must be
+  byte-identical, and the merged audit must stay under the committed
+  solver-run ceiling while cutting fixpoint count by the required factor.
+
+This wrapper re-asserts the acceptance criteria on the returned payload
+and writes ``BENCH_batch_fixpoint.json``.
+"""
+
+from conftest import write_bench_json, write_report
+from repro.cli.bench import (
+    AUDIT_MERGED_MAX_SOLVER_RUNS,
+    AUDIT_MIN_RUN_REDUCTION,
+    BATCH_REQUIRED_SPEEDUP,
+    run_batch,
+)
+
+
+def test_batch_fixpoint_merges_and_matches():
+    payload = run_batch()
+    workload, audit = payload["workload"], payload["audit"]
+
+    lines = [
+        f"workload: {workload['queries']} JSONL queries "
+        f"({workload['distinct_problems']} distinct problems)",
+        f"cold per-query analyzers: {workload['cold_per_query_seconds'] * 1000:8.1f} ms",
+        f"sequential batch off:     {workload['sequential_off_seconds'] * 1000:8.1f} ms "
+        f"({workload['off_solver_runs']} fixpoints)",
+        f"merged batch on:          {workload['merged_on_seconds'] * 1000:8.1f} ms "
+        f"({workload['on_solver_runs']} fixpoints, "
+        f"{workload['merged_groups']} groups, "
+        f"{workload['merged_queries']} merged queries)",
+        f"speedup vs cold: {workload['speedup_vs_cold']:.2f}x "
+        f"(required {workload['required_speedup']}x)",
+        f"audit {audit['stylesheet']} ({audit['schema']}): "
+        f"{audit['off_solver_runs']} fixpoints off vs "
+        f"{audit['on_solver_runs']} on ({audit['run_reduction']:.1f}x reduction)",
+    ]
+    write_report("batch_fixpoint", lines)
+    write_bench_json("batch_fixpoint", payload)
+
+    # Acceptance criteria (run_batch already raises on violation; re-assert
+    # on the payload so the benchmark documents them explicitly).
+    assert workload["verdicts_identical"] and workload["witnesses_identical"]
+    assert workload["speedup_vs_cold"] >= BATCH_REQUIRED_SPEEDUP
+    assert audit["findings_identical"]
+    assert audit["on_solver_runs"] <= AUDIT_MERGED_MAX_SOLVER_RUNS
+    assert audit["run_reduction"] >= AUDIT_MIN_RUN_REDUCTION

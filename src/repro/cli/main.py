@@ -48,6 +48,19 @@ def _add_cache_dir_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_fixpoint_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-fixpoint",
+        choices=("on", "off", "auto"),
+        default=None,
+        help="merged-Lean batch solving: compile compatible queries of a batch "
+        "into one shared Lean and decide them in a single fixpoint (on), solve "
+        "each query separately (off, the default), or merge only in-process "
+        "multi-query batches (auto); verdicts and witnesses are identical "
+        "either way",
+    )
+
+
 def _add_backend_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
@@ -160,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_option(analyze)
     _add_backend_option(analyze)
+    _add_batch_fixpoint_option(analyze)
     _add_budget_options(analyze)
 
     audit = subparsers.add_parser(
@@ -204,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_option(audit)
     _add_backend_option(audit)
+    _add_batch_fixpoint_option(audit)
     _add_budget_options(audit)
 
     serve = subparsers.add_parser(
@@ -222,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_option(serve)
     _add_backend_option(serve)
+    _add_batch_fixpoint_option(serve)
     _add_budget_options(serve)
 
     schemas = subparsers.add_parser(
@@ -242,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="NAME",
         help="benchmarks to run: api-batch, cli-cache, scaling, frontier, "
-        "backend, audit (default: all)",
+        "backend, audit, batch (default: all)",
     )
     bench.add_argument(
         "--quick",

@@ -117,6 +117,7 @@ def serve(
     backend: str | None = None,
     budget: "object | None" = None,
     degrade: bool = False,
+    batch_fixpoint: str = "off",
 ) -> int:
     """Run the request/response loop until end-of-input; returns exit code 0.
 
@@ -128,7 +129,11 @@ def serve(
     explicit-solver fallback for budget-exhausted queries.
     """
     analyzer = analyzer or StaticAnalyzer(
-        cache_dir=cache_dir, backend=backend, budget=budget, degrade=degrade
+        cache_dir=cache_dir,
+        backend=backend,
+        budget=budget,
+        degrade=degrade,
+        batch_fixpoint=batch_fixpoint,
     )
     if workers > 1:
         return _serve_parallel(input_stream, output_stream, analyzer, workers)
@@ -367,4 +372,5 @@ def run(args) -> int:
         backend=getattr(args, "backend", None),
         budget=budget_from_args(args),
         degrade=getattr(args, "degrade", False),
+        batch_fixpoint=getattr(args, "batch_fixpoint", None) or "off",
     )

@@ -94,6 +94,20 @@ class LeanEncoding:
     def start(self, primed: bool = False) -> BDD:
         return self.literal(self.lean.start_index, primed)
 
+    def root_filter(self, formula: sx.Formula, primed: bool = False) -> BDD:
+        """Root types satisfying ``formula``: no pending backward modality.
+
+        This is the final check of the fixpoint loop — ``¬ischild₁ ∧
+        ¬ischild₂ ∧ statusᵩ`` — shared between the single-query solver and
+        the merged batch solver, where one such filter per goal bit reads
+        each query's verdict out of the one shared proved set.
+        """
+        return (
+            ~self.ischild(1, primed)
+            & ~self.ischild(2, primed)
+            & self.status(formula, primed)
+        )
+
     # -- the truth-status of a formula as a boolean function ----------------------------
 
     def status(self, formula: sx.Formula, primed: bool = False) -> BDD:
@@ -153,13 +167,40 @@ class LeanEncoding:
 
     # -- the characteristic function of Types(ψ) ------------------------------------------
 
-    def types_constraint(self, primed: bool = False) -> BDD:
-        """χ_Types: modal consistency, first/second child exclusion, one label."""
+    def types_constraint(
+        self,
+        primed: bool = False,
+        modal_indices: frozenset[int] | None = None,
+        labels: frozenset[str] | None = None,
+    ) -> BDD:
+        """χ_Types: modal consistency, first/second child exclusion, one label.
+
+        ``modal_indices`` restricts the modal-consistency conjuncts to a
+        subset of the Lean's modal bits — the merged batch solver passes each
+        goal's cone so a goal's proved sets never constrain (or even mention)
+        another goal's bits.
+
+        ``labels`` restricts the exactly-one-label constraint to a subset of
+        the Lean's propositions; the rest are simply never mentioned.  A
+        goal solved against a merged Lean keeps its own pruned alphabet this
+        way: nothing in the goal's fixpoint (this constraint, its partition
+        views, its root filter) touches a foreign label bit, so its proved
+        sets stay cylinders over those bits — node-for-node the BDDs its own
+        per-query Lean would produce (pruned type translations read "any
+        other label" through the shared ``#other`` proposition, whose
+        meaning foreign labels must not dilute).  The sets being equal does
+        not make the *decoded* witness equal, though: merging can reorder
+        the shared variables, so reconstruction additionally pins its picks
+        to the goal's per-query Lean order
+        (:func:`repro.solver.models._pick`).
+        """
         manager = self.manager
         constraint = manager.true()
         # Modal consistency: ⟨a⟩ϕ ∈ t implies ⟨a⟩⊤ ∈ t.
         for program, _sub, index in self.lean.modal_items():
             if index == self.top_index(program):
+                continue
+            if modal_indices is not None and index not in modal_indices:
                 continue
             constraint = constraint & self.literal(index, primed).implies(
                 self.literal(self.top_index(program), primed)
@@ -169,10 +210,11 @@ class LeanEncoding:
             self.literal(self.top_index(-1), primed)
             & self.literal(self.top_index(-2), primed)
         )
-        # Exactly one atomic proposition.
+        # Exactly one atomic proposition (among the kept labels).
         label_literals = [
             self.literal(self.lean.proposition_index(label), primed)
             for label in self.lean.propositions
+            if labels is None or label in labels
         ]
         at_least_one = manager.false()
         for literal in label_literals:
@@ -268,6 +310,7 @@ class TransitionRelation:
         program: int,
         early_quantification: bool = True,
         monolithic: bool = False,
+        modal_indices: frozenset[int] | None = None,
     ):
         if program not in FORWARD_MODALITIES:
             raise ValueError("transition relations are built for programs 1 and 2 only")
@@ -275,6 +318,12 @@ class TransitionRelation:
         self.program = program
         self.early_quantification = early_quantification
         self.monolithic = monolithic
+        # Restriction to one goal's cone of Lean bits: the merged batch
+        # solver keeps its fixpoint state factored per goal, and a goal's
+        # relation view must neither constrain nor quantify bits the goal's
+        # closure never mentions (the missing equivalences would otherwise
+        # force every other goal's ``x_i`` to ``∃y.status``-shaped junk).
+        self.modal_indices = modal_indices
         self.partitions = self._build_partitions()
         self._monolithic_relation: BDD | None = None
         if monolithic:
@@ -346,6 +395,8 @@ class TransitionRelation:
         partitions: list[_Partition] = []
         for item_program, sub, index in encoding.lean.modal_items():
             if sub is sx.TRUE:
+                continue
+            if self.modal_indices is not None and index not in self.modal_indices:
                 continue
             if item_program == self.program:
                 # x_i  <=>  status_sub(y)
@@ -592,6 +643,8 @@ class TransitionRelation:
         status_parts: list[BDD] = []
         for item_program, sub, index in lean.modal_items():
             if sub is sx.TRUE:
+                continue
+            if self.modal_indices is not None and index not in self.modal_indices:
                 continue
             if item_program == self.program:
                 required = parent_bits.get(index, False)

@@ -92,6 +92,12 @@ class FuzzConfig:
     #: (seeded budgeted re-solve + injected deadline expiry; see module
     #: docstring).
     chaos: bool = False
+    #: Also run the merged-Lean batch ablation on every solved trial: the
+    #: case (plus one satisfiability probe per expression, so the batch
+    #: really groups) is solved through the analyzer with
+    #: ``batch_fixpoint="on"`` and ``"off"``, and ``holds``/``satisfiable``/
+    #: ``verdict_status`` and the serialised witness must match per query.
+    batch_fixpoint: bool = False
 
     def trial_seeds(self) -> list[int]:
         """The per-trial generator seeds; independent of ``workers``."""
@@ -127,6 +133,13 @@ class TrialOutcome:
     chaos_max_steps: int = 0
     chaos_budget_reason: str | None = None
     chaos_deadline_injected: bool = False
+    #: Batch-fixpoint axis engagement (``FuzzConfig.batch_fixpoint``): how
+    #: many queries the per-trial batch held and how many solver fixpoints
+    #: each mode ran (merged mode must never run more than per-query mode).
+    batch_checked: bool = False
+    batch_queries: int = 0
+    batch_merged_runs: int = 0
+    batch_per_query_runs: int = 0
     #: The case's Lean exceeded ``bounds.max_lean``; nothing was solved.
     skipped_oversized: bool = False
     lean_size: int = 0
@@ -206,6 +219,7 @@ def evaluate_case(
     index: int = 0,
     backends: tuple[str, ...] = DEFAULT_FUZZ_BACKENDS,
     chaos: bool = False,
+    batch_fixpoint: bool = False,
 ) -> TrialOutcome:
     """Run one case through the ablation matrix and every oracle.
 
@@ -313,6 +327,11 @@ def evaluate_case(
     if chaos:
         _chaos_check(outcome, formulas[False], reference.satisfiable, backends[0])
 
+    # Oracle 5 (batch axis): merged-Lean batch solving must be invisible.
+    if batch_fixpoint:
+        for backend in backends:
+            _batch_check(outcome, case, dtd, backend)
+
     outcome.seconds = time.perf_counter() - started
     return outcome
 
@@ -418,6 +437,87 @@ def _chaos_check(
         faults.uninstall()
 
 
+def _case_query(case: FuzzCase, dtd: DTD | None):
+    """The :class:`repro.api.Query` asking the case's own question."""
+    from repro.api import Query
+
+    if case.kind in ("satisfiability", "emptiness"):
+        return getattr(Query, case.kind)(case.exprs[0], dtd)
+    if case.kind == "containment":
+        return Query.containment(case.exprs[0], case.exprs[1], dtd, dtd)
+    if case.kind == "overlap":
+        return Query.overlap(case.exprs[0], case.exprs[1], dtd, dtd)
+    raise AssertionError(f"unknown fuzz kind {case.kind!r}")
+
+
+def _batch_check(
+    outcome: TrialOutcome, case: FuzzCase, dtd: DTD | None, backend: str
+) -> None:
+    """The merged-Lean batch ablation behind ``FuzzConfig.batch_fixpoint``.
+
+    The case's query plus one satisfiability probe per expression (so the
+    batch holds several compatible queries and really merges) is solved
+    twice through fresh analyzers — ``batch_fixpoint="off"`` and ``"on"`` —
+    and the modes must be observationally identical per query: same
+    ``holds``/``satisfiable``/``verdict_status``/``budget_reason``, same
+    structured error, and the *same serialised witness document* (merged
+    goals keep their per-query reductions, so even model reconstruction
+    must not drift).  Merged mode may only ever run fewer fixpoints.
+    """
+    from repro.api import Query, StaticAnalyzer
+
+    queries = [_case_query(case, dtd)] + [
+        Query.satisfiability(text, dtd) for text in case.exprs
+    ]
+    per_query = StaticAnalyzer(backend=backend, batch_fixpoint="off").solve_many(
+        queries
+    )
+    merged = StaticAnalyzer(backend=backend, batch_fixpoint="on").solve_many(queries)
+    outcome.batch_checked = True
+    outcome.batch_queries = len(queries)
+    outcome.batch_per_query_runs += per_query.solver_runs
+    outcome.batch_merged_runs += merged.solver_runs
+    if merged.solver_runs > per_query.solver_runs:
+        outcome.disagreements.append(
+            {
+                "oracle": "batch-fixpoint",
+                "detail": (
+                    f"merged mode ran {merged.solver_runs} fixpoints on "
+                    f"backend {backend}, more than per-query mode's "
+                    f"{per_query.solver_runs}"
+                ),
+            }
+        )
+    for position, (off, on) in enumerate(zip(per_query.outcomes, merged.outcomes)):
+        observed = {
+            field_name: (getattr(off, field_name), getattr(on, field_name))
+            for field_name in (
+                "holds",
+                "satisfiable",
+                "verdict_status",
+                "budget_reason",
+                "error_kind",
+                "counterexample",
+            )
+        }
+        split = {
+            field_name: {"off": values[0], "on": values[1]}
+            for field_name, values in observed.items()
+            if values[0] != values[1]
+        }
+        if split:
+            outcome.disagreements.append(
+                {
+                    "oracle": "batch-fixpoint",
+                    "detail": (
+                        f"batch_fixpoint on/off disagree on query {position} "
+                        f"({queries[position].kind}, backend {backend})"
+                    ),
+                    "fields": split,
+                }
+            )
+
+
 # ---------------------------------------------------------------------------
 # Campaign driver
 # ---------------------------------------------------------------------------
@@ -493,6 +593,16 @@ class FuzzReport:
                     1 for t in trials if t.replay_skipped
                 ),
             },
+            "batch_fixpoint": {
+                "enabled": self.config.batch_fixpoint,
+                "trials": sum(1 for t in trials if t.batch_checked),
+                "queries": sum(t.batch_queries for t in trials),
+                "merged_runs": sum(t.batch_merged_runs for t in trials),
+                "per_query_runs": sum(t.batch_per_query_runs for t in trials),
+                "identical_verdicts": not any(
+                    d["oracle"] == "batch-fixpoint" for d in self.disagreements
+                ),
+            },
             "chaos": {
                 "enabled": self.config.chaos,
                 "trials": sum(1 for t in trials if t.chaos_checked),
@@ -524,6 +634,7 @@ def _run_trial(index: int, trial_seed: int, config: FuzzConfig) -> TrialOutcome:
             index=index,
             backends=config.backends,
             chaos=config.chaos,
+            batch_fixpoint=config.batch_fixpoint,
         )
     except Exception as exc:  # noqa: BLE001 - reported, never swallowed
         outcome = TrialOutcome(index=index, case=case)
@@ -572,9 +683,20 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     return report
 
 
-def _still_disagrees(bounds: Bounds, backends: tuple[str, ...], chaos: bool = False):
+def _still_disagrees(
+    bounds: Bounds,
+    backends: tuple[str, ...],
+    chaos: bool = False,
+    batch_fixpoint: bool = False,
+):
     def predicate(candidate: FuzzCase) -> bool:
-        outcome = evaluate_case(candidate, bounds, backends=backends, chaos=chaos)
+        outcome = evaluate_case(
+            candidate,
+            bounds,
+            backends=backends,
+            chaos=chaos,
+            batch_fixpoint=batch_fixpoint,
+        )
         return bool(outcome.disagreements)
 
     return predicate
@@ -587,7 +709,9 @@ def _write_disagreements(report: FuzzReport, config: FuzzConfig) -> None:
             continue
         shrunk = shrink_case(
             trial.case,
-            _still_disagrees(config.bounds, config.backends, config.chaos),
+            _still_disagrees(
+                config.bounds, config.backends, config.chaos, config.batch_fixpoint
+            ),
         )
         disagreement = dict(trial.disagreements[0])
         disagreement.setdefault("backends", list(config.backends))

@@ -31,6 +31,11 @@ attribute ``a`` in the alphabet and every element ``σ``,
   (valid documents cannot carry undeclared attributes),
 * nothing is conjoined otherwise (the attribute is optional).
 
+The constrained elements are the declared ones *plus* every element a
+content model references without declaring: such elements are valid (as
+empty nodes) but declare no attributes, so every alphabet attribute is
+pinned to ``¬@a`` on them.
+
 When the alphabet contains the "other attribute" marker (because a query used
 ``@*``), the marker bit is additionally pinned down wherever the DTD decides
 it: an element with a ``#REQUIRED`` attribute outside the named alphabet gets
@@ -47,6 +52,7 @@ from repro.logic import syntax as sx
 from repro.logic.closure import OTHER_ATTRIBUTE, OTHER_LABEL
 from repro.xmltypes.ast import Alternative, BinaryTypeGrammar, LabelAlternative
 from repro.xmltypes.binarize import binarize_dtd
+from repro.xmltypes.content import symbols as content_symbols
 from repro.xmltypes.dtd import DTD
 
 
@@ -201,7 +207,18 @@ def attribute_constraints(
     constraints: dict[str, sx.Formula] = {}
     if not alphabet:
         return constraints
-    for element in dtd.element_names():
+    # Referenced-but-undeclared elements are valid (empty) document nodes,
+    # yet declare no attributes at all — they need the ¬@a constraints too,
+    # or witnesses could decorate them with attributes no valid document
+    # carries (membership.dtd_attribute_violations rejects exactly that).
+    declared_names = dtd.element_names()
+    referenced = set()
+    for declaration in dtd.elements.values():
+        referenced |= content_symbols(declaration.content)
+    elements = tuple(declared_names) + tuple(
+        sorted(referenced - set(declared_names))
+    )
+    for element in elements:
         declared = {decl.name for decl in dtd.attributes_of(element)}
         required = set(dtd.required_attributes(element))
         parts: list[sx.Formula] = []

@@ -1,0 +1,339 @@
+"""Merged-Lean batch solving (``batch_fixpoint``): parity and governance.
+
+One merged fixpoint must be *observationally invisible*: every query of a
+batch gets the same ``holds``/``satisfiable``/``verdict_status`` — and the
+byte-identical serialised witness — that a per-query solve produces, while
+``solver_runs`` counts one fixpoint per merged group instead of one per
+query.  These tests pin that contract over the committed fuzz corpus (both
+BDD backends), the batch counters of the sequential vs multiprocess paths,
+the governor's behaviour inside a merged group (split-and-retry bisection
+must leave bystanders definite), the v2 disk-cache entry format, and the
+example stylesheet audit.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.api import Query, StaticAnalyzer
+from repro.bdd.backends import available_backends
+from repro.cache import (
+    CACHE_FORMAT_VERSION,
+    DiskSolveCache,
+    SolveRecord,
+    merged_entry_key,
+    solve_cache_key,
+)
+from repro.logic import syntax as sx
+from repro.solver.governor import Budget
+from repro.testing.corpus import load_corpus
+from repro.testing.fuzz import _case_query
+from repro.xmltypes.dtd import parse_dtd
+from repro.xslt import audit_stylesheet
+
+BACKENDS = available_backends()
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+#: The committed regression instance of test_robustness: depth-14 nested
+#: containment, effectively unbounded for the symbolic solver.
+PATHOLOGICAL = "/".join(["a1"] + [f"a{i}[b{i}]" for i in range(2, 15)])
+PATHOLOGICAL_SUPERSET = PATHOLOGICAL.replace("[b2]", "")
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+#: What "observationally identical" means, field by field.
+OBSERVABLE_FIELDS = (
+    "holds",
+    "satisfiable",
+    "verdict_status",
+    "budget_reason",
+    "error_kind",
+    "counterexample",
+)
+
+
+def _observed(outcome) -> dict:
+    return {name: getattr(outcome, name) for name in OBSERVABLE_FIELDS}
+
+
+# ---------------------------------------------------------------------------
+# Differential: merged vs per-query over the committed corpus
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_merged_matches_per_query_on_corpus(backend):
+    """Every committed corpus seed, as one batch: off and on must agree on
+    verdicts, verdict_status *and the serialised witness document* — merged
+    goals keep their per-query reductions, so even model reconstruction must
+    not drift — while merged mode never runs more fixpoints."""
+    queries = [_case_query(entry.case, entry.case.dtd()) for entry in ENTRIES]
+    off = StaticAnalyzer(backend=backend).solve_many(queries, batch_fixpoint="off")
+    on = StaticAnalyzer(backend=backend).solve_many(queries, batch_fixpoint="on")
+    for entry, off_outcome, on_outcome in zip(ENTRIES, off.outcomes, on.outcomes):
+        assert _observed(off_outcome) == _observed(on_outcome), entry.name
+    assert on.solver_runs <= off.solver_runs
+    assert on.merged_groups >= 1
+    assert on.merged_queries >= 2
+
+
+def test_merged_batch_is_one_fixpoint_and_counts_grouping():
+    queries = [
+        Query.satisfiability("child::a/child::b"),
+        Query.satisfiability("child::c"),
+        Query.overlap("a//b", "a/b"),
+    ]
+    report = StaticAnalyzer().solve_many(queries, batch_fixpoint="on")
+    assert [o.holds for o in report.outcomes] == [True, True, True]
+    assert report.solver_runs == 1
+    assert report.merged_groups == 1
+    assert report.merged_queries == 3
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_merged_witness_pick_order_matches_solo(backend):
+    """Regression (fuzz seed 7, trial 20): the merged Lean sorts ``#other``
+    ahead of the concrete labels whenever a *sibling* goal's closure contains
+    it, shifting BDD variable levels — and the manager's default pick walks to
+    the lex-min assignment w.r.t. variable order, so the same proved sets
+    decoded a different (equally valid) witness than a stand-alone solve
+    (``<_><a!/></_>`` vs ``<c><a!/></c>``).  Reconstruction now pins every
+    pick to the goal's own per-query Lean order."""
+    dtd = parse_dtd("<!ELEMENT c EMPTY>", root="c")
+    queries = [
+        Query.containment("/descendant::a", "descendant::c", dtd, dtd),
+        Query.satisfiability("/descendant::a", dtd),
+        Query.satisfiability("descendant::c", dtd),
+    ]
+    off = StaticAnalyzer(backend=backend).solve_many(queries, batch_fixpoint="off")
+    on = StaticAnalyzer(backend=backend).solve_many(queries, batch_fixpoint="on")
+    for off_outcome, on_outcome in zip(off.outcomes, on.outcomes):
+        assert _observed(off_outcome) == _observed(on_outcome)
+    assert on.outcomes[0].counterexample is not None
+    assert on.solver_runs == 1
+
+
+def test_witness_never_decorates_undeclared_elements_with_attributes():
+    """Regression (fuzz seed 7, trial 154): ``attribute_constraints`` only
+    constrained *declared* elements, so an element a content model references
+    without declaring (valid only as an empty node) could carry an attribute
+    in a witness — which ``membership.dtd_attribute_violations`` rejects.
+    Referenced-but-undeclared elements now get the same ``¬@a`` pins as an
+    attribute-free declaration."""
+    dtd = parse_dtd("<!ELEMENT b (a)>", root="b")
+    outcome = StaticAnalyzer().solve(
+        Query.containment("parent::a/descendant::*", "desc-or-self::a/@p", dtd, dtd)
+    )
+    assert outcome.holds is False
+    assert outcome.counterexample is not None
+    assert 'p="' not in outcome.counterexample
+
+
+# ---------------------------------------------------------------------------
+# Batch counter parity: sequential vs multiprocess
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_batch_counters_equal_sequential(tmp_path):
+    """The regression the parity sweep fixed: ``_solve_many_parallel`` must
+    report the *same* ``solver_runs``/``cache_hits``/``disk_cache_hits`` as a
+    sequential pass over the identical batch — including the satisfiability/
+    emptiness satclass fold and the equivalence decomposition."""
+    queries = [
+        Query.satisfiability("child::a[b]"),
+        Query.emptiness("child::a[b]"),  # same satclass: no second solve
+        Query.containment("a/b", "a//b"),
+        Query.equivalence("a//b", "a//b[c] | a//b[not(c)]"),
+        Query.containment("a/b", "a//b"),  # duplicate
+    ]
+    cache_dir = str(tmp_path / "solve-cache")
+    StaticAnalyzer(cache_dir=cache_dir).solve_many(queries, workers=1)
+
+    sequential = StaticAnalyzer(cache_dir=cache_dir).solve_many(queries, workers=1)
+    parallel = StaticAnalyzer(cache_dir=cache_dir).solve_many(queries, workers=2)
+    assert [_observed(o) for o in parallel.outcomes] == [
+        _observed(o) for o in sequential.outcomes
+    ]
+    assert parallel.solver_runs == sequential.solver_runs
+    assert parallel.cache_hits == sequential.cache_hits
+    assert parallel.disk_cache_hits == sequential.disk_cache_hits
+
+
+# ---------------------------------------------------------------------------
+# Resource governance inside a merged group
+# ---------------------------------------------------------------------------
+
+
+def test_merged_group_repins_pathological_on_both_backends():
+    """The depth-14 containment, *inside a merged group*: the steps budget
+    must surface as the identical structured ``budget_reason`` on both BDD
+    engines (the governor's step accounting is backend-independent at the
+    verdict level), and the cheap co-grouped query must come out definite."""
+    queries = [
+        Query.satisfiability("child::a"),
+        Query.containment(PATHOLOGICAL, PATHOLOGICAL_SUPERSET),
+    ]
+    reasons = {}
+    for backend in BACKENDS:
+        report = StaticAnalyzer(backend=backend).solve_many(
+            queries, budget=Budget(max_steps=100_000), batch_fixpoint="on"
+        )
+        cheap, pathological = report.outcomes
+        assert cheap.definite and cheap.holds is True, backend
+        assert pathological.unknown, backend
+        reasons[backend] = pathological.budget_reason
+    assert reasons == {backend: "steps" for backend in BACKENDS}
+
+
+def test_merged_budget_leaves_bystanders_definite():
+    """The acceptance property: a ``BudgetExceeded`` inside a merged group
+    bisects the group, so every non-offending query's verdict stays definite
+    and identical to an unbudgeted per-query solve."""
+    bystanders = [
+        Query.satisfiability("child::a/child::b"),
+        Query.containment("a/b", "a//b"),
+        Query.overlap("a//b", "a/b"),
+        Query.emptiness("child::c"),
+    ]
+    queries = bystanders + [Query.containment(PATHOLOGICAL, PATHOLOGICAL_SUPERSET)]
+    reference = StaticAnalyzer().solve_many(bystanders, batch_fixpoint="off")
+    budgeted = StaticAnalyzer().solve_many(
+        queries, budget=Budget(max_steps=100_000), batch_fixpoint="on"
+    )
+    for expected, outcome in zip(reference.outcomes, budgeted.outcomes):
+        assert outcome.definite, outcome.problem
+        assert _observed(outcome) == _observed(expected)
+    assert budgeted.outcomes[-1].unknown
+    assert budgeted.outcomes[-1].budget_reason == "steps"
+
+
+# ---------------------------------------------------------------------------
+# Disk cache: v2 format, merged-batch entries, no aliasing
+# ---------------------------------------------------------------------------
+
+
+def test_cache_format_version_is_bumped():
+    assert CACHE_FORMAT_VERSION == 2
+
+
+def test_v1_entries_are_clean_misses(tmp_path):
+    """Old-format entries live under ``v1/`` (never read) or carry
+    ``version: 1`` (well-formed mismatch): both are plain misses — no
+    quarantine, no deletion — and the next solve republishes under v2."""
+    formula = sx.prop("a")
+    cache = DiskSolveCache(tmp_path)
+    v1_file = tmp_path / "v1" / "ab" / "abcdef.json"
+    v1_file.parent.mkdir(parents=True)
+    v1_file.write_text(json.dumps({"version": 1, "satisfiable": True}))
+    # A v1 payload parked at the entry's v2 path: versioned miss, kept as-is.
+    stale = cache.path_for_key(cache.key_for(formula))
+    stale.parent.mkdir(parents=True, exist_ok=True)
+    stale.write_text(json.dumps({"version": 1, "key": cache.key_for(formula)}))
+
+    assert cache.get(formula) is None
+    assert v1_file.exists() and stale.exists()
+    assert not list(tmp_path.rglob("*.corrupt"))
+
+    record = SolveRecord(
+        satisfiable=True, counterexample="<a/>", statistics={}, solve_seconds=0.1
+    )
+    cache.put(formula, record)
+    assert cache.get(formula) == record
+
+
+def test_merged_batch_entries_roundtrip_without_aliasing(tmp_path):
+    cache = DiskSolveCache(tmp_path)
+    goals = [sx.prop("a"), sx.mk_and(sx.prop("b"), sx.dia(1, sx.prop("c")))]
+    records = [
+        SolveRecord(satisfiable=True, counterexample="<a/>", statistics={}, solve_seconds=0.1),
+        SolveRecord(satisfiable=False, counterexample=None, statistics={}, solve_seconds=0.2),
+    ]
+    cache.put_batch(goals, records)
+    assert cache.get_batch(goals) == records
+    # Goal-bit order is part of the encoding, hence part of the address.
+    assert cache.get_batch(list(reversed(goals))) is None
+    assert cache.get_batch(goals[:1]) is None
+    # Batch-level entries never alias per-formula entries, in either direction.
+    assert cache.get(goals[0]) is None
+    single_keys = {cache.key_for(goal) for goal in goals}
+    assert cache.batch_key(goals) not in single_keys
+    assert merged_entry_key([solve_cache_key(goals[0])]) != solve_cache_key(goals[0])
+
+
+def test_corrupt_batch_entry_is_quarantined(tmp_path):
+    cache = DiskSolveCache(tmp_path)
+    goals = [sx.prop("a")]
+    records = [
+        SolveRecord(satisfiable=True, counterexample="<a/>", statistics={}, solve_seconds=0.1)
+    ]
+    path = cache.put_batch(goals, records)
+    path.write_text(path.read_text()[:40])  # torn write
+    assert cache.get_batch(goals) is None
+    assert path.with_suffix(".json.corrupt").exists()
+    # The next writer republishes a good entry at the same address.
+    cache.put_batch(goals, records)
+    assert cache.get_batch(goals) == records
+
+
+def test_merged_solves_replay_from_disk_as_single_queries(tmp_path):
+    """A merged solve publishes each goal under its batch-independent
+    per-formula key, so a later *single* solve of one member is a disk hit."""
+    cache_dir = str(tmp_path / "solve-cache")
+    queries = [
+        Query.satisfiability("child::a/child::b"),
+        Query.overlap("a//b", "a/b"),
+    ]
+    first = StaticAnalyzer(cache_dir=cache_dir)
+    merged = first.solve_many(queries, batch_fixpoint="on")
+    assert merged.solver_runs == 1
+
+    second = StaticAnalyzer(cache_dir=cache_dir)
+    replay = second.solve(queries[0])
+    assert replay.from_cache and replay.cache == "disk"
+    assert replay.holds == merged.outcomes[0].holds
+
+
+# ---------------------------------------------------------------------------
+# The example stylesheet audit
+# ---------------------------------------------------------------------------
+
+
+def test_merged_audit_is_one_fixpoint_with_identical_findings():
+    """The acceptance case: the seeded example audit's whole satisfiability/
+    emptiness batch must be decided in at most 2 merged fixpoints (measured:
+    1), at least 5x fewer than per-query mode, with byte-identical findings."""
+    stylesheet = EXAMPLES / "audit_stylesheet.xsl"
+    off = audit_stylesheet(stylesheet, "xhtml-strict", batch_fixpoint="off")
+    on = audit_stylesheet(stylesheet, "xhtml-strict", batch_fixpoint="on")
+    off_findings = json.dumps([f.as_dict() for f in off.findings], sort_keys=True)
+    on_findings = json.dumps([f.as_dict() for f in on.findings], sort_keys=True)
+    assert on_findings == off_findings
+    assert on.solver_runs <= 2
+    assert off.solver_runs >= 5 * on.solver_runs
+
+
+def test_merged_audit_small_stylesheet_matches_per_query(tmp_path):
+    """A fast end-to-end audit parity check (kept cheap for -x runs): a tiny
+    stylesheet with a dead template and a coverage gap, audited both ways."""
+    stylesheet = tmp_path / "tiny.xsl"
+    stylesheet.write_text(
+        textwrap.dedent(
+            """\
+            <xsl:stylesheet version="1.0"
+                xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:template match="title/meta"><dead/></xsl:template>
+              <xsl:template match="meta"><xsl:apply-templates/></xsl:template>
+            </xsl:stylesheet>
+            """
+        )
+    )
+    off = audit_stylesheet(stylesheet, "wikipedia", batch_fixpoint="off")
+    on = audit_stylesheet(stylesheet, "wikipedia", batch_fixpoint="on")
+    assert [f.as_dict() for f in on.findings] == [f.as_dict() for f in off.findings]
+    assert any(f.rule == "dead-template" for f in on.findings)
+    assert on.solver_runs <= off.solver_runs
